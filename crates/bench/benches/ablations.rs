@@ -1,0 +1,74 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//! grouping-stage stacks (T vs T+R vs T+R+C), the template-tree pruning
+//! threshold k, and the EWMA model vs a fixed-gap splitter. Each bench
+//! also prints the quality-side number once (group counts / template
+//! counts), so the time/quality trade-off is visible in one place.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_netsim::{Dataset, DatasetSpec};
+use std::sync::OnceLock;
+use syslogdigest::baselines::{ewma_group_count, fixed_gap_group_count};
+use syslogdigest::offline::{learn, OfflineConfig};
+use syslogdigest::{augment_batch, group, DomainKnowledge, GroupingConfig};
+
+type Setup = (Dataset, DomainKnowledge, Vec<sd_model::SyslogPlus>);
+
+fn setup() -> &'static Setup {
+    static S: OnceLock<Setup> = OnceLock::new();
+    S.get_or_init(|| {
+        let d = Dataset::generate(DatasetSpec::preset_a().scaled(0.1));
+        let k = learn(&d.configs, d.train(), &OfflineConfig::dataset_a());
+        let (batch, _) = augment_batch(&k, d.online());
+        (d, k, batch)
+    })
+}
+
+fn bench_stage_ablation(c: &mut Criterion) {
+    let (_, k, batch) = setup();
+    let mut g = c.benchmark_group("grouping_stages");
+    for (name, cfg) in [
+        ("T", GroupingConfig::t_only()),
+        ("T+R", GroupingConfig::t_r()),
+        ("T+R+C", GroupingConfig::default()),
+    ] {
+        let groups = group(k, batch, &cfg).n_groups;
+        println!("[ablation] stages {name}: {groups} groups over {} messages", batch.len());
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| group(k, batch, cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pruning_k(c: &mut Criterion) {
+    let (d, _, _) = setup();
+    let slice = &d.train()[..d.train().len().min(30_000)];
+    let mut g = c.benchmark_group("template_tree_k");
+    for k in [3usize, 10, 30] {
+        let cfg = sd_templates::LearnerConfig { k, max_per_code: 20_000 };
+        let n = sd_templates::learn(slice, &cfg).len();
+        println!("[ablation] k={k}: {n} templates learned");
+        g.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| sd_templates::learn(slice, cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ewma_vs_fixed(c: &mut Criterion) {
+    let (_, k, batch) = setup();
+    let ew = ewma_group_count(k, batch);
+    let fx = fixed_gap_group_count(batch, 300);
+    println!("[ablation] temporal splitter: EWMA {ew} groups vs fixed-gap(300s) {fx} groups");
+    let mut g = c.benchmark_group("temporal_splitter");
+    g.bench_function("ewma", |b| b.iter(|| ewma_group_count(k, batch)));
+    g.bench_function("fixed_gap_300s", |b| b.iter(|| fixed_gap_group_count(batch, 300)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stage_ablation, bench_pruning_k, bench_ewma_vs_fixed
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Location learning and extraction costs: dictionary construction from
+//! configs and per-message location parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sd_locations::{extract, LocationDictionary};
+use sd_netsim::{Dataset, DatasetSpec};
+use std::sync::OnceLock;
+
+fn data() -> &'static Dataset {
+    static D: OnceLock<Dataset> = OnceLock::new();
+    D.get_or_init(|| Dataset::generate(DatasetSpec::preset_a().scaled(0.1)))
+}
+
+fn bench_locations(c: &mut Criterion) {
+    let d = data();
+    c.bench_function("dictionary_build", |b| {
+        b.iter(|| LocationDictionary::build(&d.configs))
+    });
+
+    let dict = LocationDictionary::build(&d.configs);
+    let sample: Vec<&sd_model::RawMessage> = d.train().iter().take(20_000).collect();
+    let mut g = c.benchmark_group("location_extraction");
+    g.throughput(Throughput::Elements(sample.len() as u64));
+    g.bench_function("extract", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for m in &sample {
+                if let Some(e) = extract(&dict, m) {
+                    found += e.locations.len();
+                }
+            }
+            found
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_locations
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Throughput of online template matching (the hottest per-message
+//! operation of the online pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sd_netsim::{Dataset, DatasetSpec};
+use sd_templates::{learn, LearnerConfig, TemplateSet};
+use std::sync::OnceLock;
+
+fn setup() -> &'static (Dataset, TemplateSet) {
+    static DATA: OnceLock<(Dataset, TemplateSet)> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let d = Dataset::generate(DatasetSpec::preset_a().scaled(0.1));
+        let set = learn(d.train(), &LearnerConfig::default());
+        (d, set)
+    })
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let (d, set) = setup();
+    let sample: Vec<&sd_model::RawMessage> = d.online().iter().take(20_000).collect();
+    let mut g = c.benchmark_group("template_matching");
+    g.throughput(Throughput::Elements(sample.len() as u64));
+    g.bench_function("match_message", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for m in &sample {
+                if set.match_message(m).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matching
+}
+criterion_main!(benches);

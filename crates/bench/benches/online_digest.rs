@@ -1,0 +1,38 @@
+//! End-to-end online pipeline throughput: augmentation, grouping, and the
+//! full digest of the online period.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sd_netsim::{Dataset, DatasetSpec};
+use std::sync::OnceLock;
+use syslogdigest::offline::{learn, OfflineConfig};
+use syslogdigest::{augment_batch, digest, group, DomainKnowledge, GroupingConfig};
+
+fn setup() -> &'static (Dataset, DomainKnowledge) {
+    static S: OnceLock<(Dataset, DomainKnowledge)> = OnceLock::new();
+    S.get_or_init(|| {
+        let d = Dataset::generate(DatasetSpec::preset_a().scaled(0.15));
+        let k = learn(&d.configs, d.train(), &OfflineConfig::dataset_a());
+        (d, k)
+    })
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (d, k) = setup();
+    let day = d.online();
+    let mut g = c.benchmark_group("online_pipeline");
+    g.throughput(Throughput::Elements(day.len() as u64));
+    g.bench_function("augment_batch", |b| b.iter(|| augment_batch(k, day)));
+    let (batch, _) = augment_batch(k, day);
+    g.bench_function("group_trc", |b| b.iter(|| group(k, &batch, &GroupingConfig::default())));
+    g.bench_function("digest_end_to_end", |b| {
+        b.iter(|| digest(k, day, &GroupingConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

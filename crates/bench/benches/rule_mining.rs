@@ -1,0 +1,40 @@
+//! Cost of sliding-window transaction counting and rule extraction
+//! (§4.1.4) as the window W grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sd_netsim::{Dataset, DatasetSpec};
+use sd_rules::{mine, CoOccurrence, MineConfig, StreamItem};
+use std::sync::OnceLock;
+use syslogdigest::mining_stream;
+use syslogdigest::offline::{learn, OfflineConfig};
+
+fn stream() -> &'static [StreamItem] {
+    static S: OnceLock<Vec<StreamItem>> = OnceLock::new();
+    S.get_or_init(|| {
+        let d = Dataset::generate(DatasetSpec::preset_a().scaled(0.1));
+        let k = learn(&d.configs, d.train(), &OfflineConfig::dataset_a());
+        mining_stream(&k, d.train())
+    })
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let s = stream();
+    let mut g = c.benchmark_group("cooccurrence_count");
+    g.throughput(Throughput::Elements(s.len() as u64));
+    for w in [30i64, 120, 300] {
+        g.bench_with_input(BenchmarkId::new("window", w), &w, |b, &w| {
+            b.iter(|| CoOccurrence::count(s, w))
+        });
+    }
+    g.finish();
+
+    let co = CoOccurrence::count(s, 120);
+    c.bench_function("mine_rules", |b| b.iter(|| mine(&co, &MineConfig::default())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_counting
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Throughput of offline template learning (§4.1.1) over realistic
+//! message volumes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sd_netsim::{Dataset, DatasetSpec};
+use sd_templates::{learn, LearnerConfig};
+use std::sync::OnceLock;
+
+fn train() -> &'static [sd_model::RawMessage] {
+    static DATA: OnceLock<Dataset> = OnceLock::new();
+    DATA.get_or_init(|| Dataset::generate(DatasetSpec::preset_a().scaled(0.1))).train()
+}
+
+fn bench_learning(c: &mut Criterion) {
+    let msgs = train();
+    let mut g = c.benchmark_group("template_learning");
+    for n in [5_000usize, 20_000, msgs.len().min(60_000)] {
+        let slice = &msgs[..n.min(msgs.len())];
+        g.throughput(Throughput::Elements(slice.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(slice.len()), slice, |b, s| {
+            b.iter(|| learn(s, &LearnerConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_learning
+}
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! EXP-SEV binary (severity-ranking baseline comparison).
+fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::severity_exp::run(&ctx); }

@@ -1,0 +1,2 @@
+//! EXP-TMPL binary (section 5.2.1).
+fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::templates_exp::run(&ctx); }

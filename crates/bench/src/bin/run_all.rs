@@ -1,0 +1,23 @@
+//! Run the complete paper evaluation in order, sharing one context.
+use sd_bench::experiments as e;
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    println!("SyslogDigest reproduction — full evaluation (scale {})", ctx.scale);
+    e::templates_exp::run(&ctx);
+    e::table5_exp::run(&ctx);
+    e::fig6_exp::run(&ctx);
+    e::fig7_exp::run(&ctx);
+    e::fig89_exp::run(&ctx);
+    e::fig10_exp::run(&ctx);
+    e::fig11_exp::run(&ctx);
+    e::table6_exp::run(&ctx);
+    e::table7_exp::run(&ctx);
+    e::fig12_exp::run(&ctx);
+    e::fig13_exp::run(&ctx);
+    e::fig45_exp::run(&ctx);
+    e::tickets_exp::run(&ctx);
+    e::pim_exp::run(&ctx);
+    e::severity_exp::run(&ctx);
+    e::viz_exp::run(&ctx);
+    println!("\ndone.");
+}

@@ -1,0 +1,19 @@
+//! One module per paper table/figure; each exposes `run(&Ctx)` and prints
+//! a paper-vs-measured report to stdout.
+
+pub mod fig10_exp;
+pub mod fig11_exp;
+pub mod fig12_exp;
+pub mod fig13_exp;
+pub mod fig45_exp;
+pub mod fig6_exp;
+pub mod fig7_exp;
+pub mod fig89_exp;
+pub mod pim_exp;
+pub mod severity_exp;
+pub mod table5_exp;
+pub mod table6_exp;
+pub mod table7_exp;
+pub mod templates_exp;
+pub mod tickets_exp;
+pub mod viz_exp;

@@ -1,0 +1,13 @@
+//! # sd-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! SyslogDigest paper against the synthetic substrate. Each experiment is
+//! a binary (`cargo run --release -p sd-bench --bin exp_<id>`) built on
+//! the shared [`ctx::Ctx`]; `run_all` executes the complete evaluation.
+//! Criterion micro/macro benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod experiments;

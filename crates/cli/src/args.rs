@@ -1,0 +1,121 @@
+//! Minimal `--flag value` argument parsing (no external dependency).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: the subcommand and its `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// Subcommand name (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    options: HashMap<String, String>,
+    /// `--key` flags with no value.
+    flags: Vec<String>,
+}
+
+/// Argument errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Parsed {
+    /// Parse an argument vector (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError> {
+        let mut it = args.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".to_owned()))?;
+        if command.starts_with("--") {
+            return Err(ArgError(format!("expected subcommand, got flag {command}")));
+        }
+        let mut parsed = Parsed { command, ..Default::default() };
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {a:?}")));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = it.next().expect("peeked");
+                    parsed.options.insert(key.to_owned(), v);
+                }
+                _ => parsed.flags.push(key.to_owned()),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Required string option.
+    pub fn req(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// Optional string option.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Optional parsed option with a default.
+    pub fn opt_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value for --{key}: {v:?}"))),
+        }
+    }
+
+    /// Whether a bare `--flag` was present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let p = Parsed::parse(v(&["digest", "--log", "x.log", "--top", "5", "--stream"]))
+            .unwrap();
+        assert_eq!(p.command, "digest");
+        assert_eq!(p.req("log").unwrap(), "x.log");
+        assert_eq!(p.opt_parse("top", 10usize).unwrap(), 5);
+        assert!(p.flag("stream"));
+        assert!(!p.flag("verbose"));
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(Parsed::parse(v(&[])).is_err());
+        assert!(Parsed::parse(v(&["--nope"])).is_err());
+        assert!(Parsed::parse(v(&["learn", "stray"])).is_err());
+        let p = Parsed::parse(v(&["learn"])).unwrap();
+        let e = p.req("log").unwrap_err();
+        assert!(e.0.contains("--log"));
+        let p = Parsed::parse(v(&["x", "--top", "abc"])).unwrap();
+        assert!(p.opt_parse("top", 1usize).is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let p = Parsed::parse(v(&["generate"])).unwrap();
+        assert_eq!(p.opt_parse("scale", 1.0f64).unwrap(), 1.0);
+        assert_eq!(p.opt("dataset"), None);
+    }
+}

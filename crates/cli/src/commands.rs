@@ -1,0 +1,343 @@
+//! Subcommand implementations for `sdigest`.
+
+use crate::args::{ArgError, Parsed};
+use sd_model::{RawMessage, Vendor};
+use sd_netsim::{Dataset, DatasetSpec};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use syslogdigest::offline::{learn, OfflineConfig};
+use syslogdigest::{digest, DomainKnowledge, GroupingConfig, StreamDigester};
+
+type CmdResult = Result<String, ArgError>;
+
+fn io_err(context: &str, e: std::io::Error) -> ArgError {
+    ArgError(format!("{context}: {e}"))
+}
+
+/// Read and parse a syslog wire-format file, skipping blank lines and
+/// reporting the count of malformed ones.
+pub fn read_log(path: &Path) -> Result<(Vec<RawMessage>, usize), ArgError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err("reading log", e))?;
+    let mut msgs = Vec::new();
+    let mut bad = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match RawMessage::parse_line(line) {
+            Some(m) => msgs.push(m),
+            None => bad += 1,
+        }
+    }
+    sd_model::sort_batch(&mut msgs);
+    Ok((msgs, bad))
+}
+
+fn profile(name: &str) -> Result<OfflineConfig, ArgError> {
+    match name {
+        "A" | "a" | "isp" => Ok(OfflineConfig::dataset_a()),
+        "B" | "b" | "iptv" => Ok(OfflineConfig::dataset_b()),
+        other => Err(ArgError(format!("unknown profile {other:?} (use A or B)"))),
+    }
+}
+
+fn stages(name: &str) -> Result<GroupingConfig, ArgError> {
+    match name.to_ascii_uppercase().as_str() {
+        "T" => Ok(GroupingConfig::t_only()),
+        "TR" | "T+R" => Ok(GroupingConfig::t_r()),
+        "TRC" | "T+R+C" => Ok(GroupingConfig::default()),
+        other => Err(ArgError(format!("unknown stages {other:?} (use T, TR, or TRC)"))),
+    }
+}
+
+/// `sdigest generate --dataset A|B [--scale F] [--seed N] --out DIR`
+///
+/// Writes `syslog.log` (wire format), one config per router under
+/// `configs/`, and `tickets.json` for the online period.
+pub fn cmd_generate(p: &Parsed) -> CmdResult {
+    let which = p.opt("dataset").unwrap_or("A");
+    let scale: f64 = p.opt_parse("scale", 0.25)?;
+    let seed: u64 = p.opt_parse("seed", 0)?;
+    let out = Path::new(p.req("out")?);
+
+    let mut spec = match which {
+        "A" | "a" => DatasetSpec::preset_a(),
+        "B" | "b" => DatasetSpec::preset_b(),
+        other => return Err(ArgError(format!("unknown dataset {other:?} (use A or B)"))),
+    };
+    if seed != 0 {
+        spec.seed = seed;
+    }
+    if (scale - 1.0).abs() > 1e-9 {
+        spec = spec.scaled(scale);
+    }
+    let d = Dataset::generate(spec);
+
+    fs::create_dir_all(out.join("configs")).map_err(|e| io_err("creating output dir", e))?;
+    let mut log = fs::File::create(out.join("syslog.log"))
+        .map_err(|e| io_err("creating syslog.log", e))?;
+    for m in &d.messages {
+        writeln!(log, "{}", m.to_line()).map_err(|e| io_err("writing syslog.log", e))?;
+    }
+    for (r, cfg) in d.topology.routers.iter().zip(&d.configs) {
+        fs::write(out.join("configs").join(format!("{}.cfg", r.name)), cfg)
+            .map_err(|e| io_err("writing config", e))?;
+    }
+    let tickets = sd_tickets::generate_tickets(&d, d.spec.seed);
+    fs::write(
+        out.join("tickets.json"),
+        serde_json::to_string_pretty(&tickets).expect("tickets serialize"),
+    )
+    .map_err(|e| io_err("writing tickets.json", e))?;
+
+    Ok(format!(
+        "dataset {} ({:?}): {} routers, {} messages ({} train / {} online), \
+         {} ground-truth events, {} tickets -> {}",
+        d.spec.name,
+        if d.spec.vendor == Vendor::V1 { "V1" } else { "V2" },
+        d.topology.routers.len(),
+        d.messages.len(),
+        d.train().len(),
+        d.online().len(),
+        d.gt_events.len(),
+        tickets.len(),
+        out.display()
+    ))
+}
+
+/// `sdigest learn --configs DIR --log FILE --profile A|B --out FILE`
+pub fn cmd_learn(p: &Parsed) -> CmdResult {
+    let cfg_dir = Path::new(p.req("configs")?);
+    let log = Path::new(p.req("log")?);
+    let out = Path::new(p.req("out")?);
+    let cfg = profile(p.opt("profile").unwrap_or("A"))?;
+
+    let mut configs = Vec::new();
+    let mut entries: Vec<_> = fs::read_dir(cfg_dir)
+        .map_err(|e| io_err("reading configs dir", e))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cfg"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        configs.push(fs::read_to_string(&path).map_err(|e| io_err("reading config", e))?);
+    }
+    if configs.is_empty() {
+        return Err(ArgError(format!("no .cfg files in {}", cfg_dir.display())));
+    }
+    let (msgs, bad) = read_log(log)?;
+    let k = learn(&configs, &msgs, &cfg);
+    fs::write(out, k.to_json().expect("knowledge serializes"))
+        .map_err(|e| io_err("writing knowledge", e))?;
+    Ok(format!(
+        "learned from {} messages ({bad} malformed skipped): {} templates, {} locations, \
+         {} rules, alpha={} beta={} W={}s -> {}",
+        msgs.len(),
+        k.templates.len(),
+        k.dict.len(),
+        k.rules.len(),
+        k.temporal.alpha,
+        k.temporal.beta,
+        k.window_secs,
+        out.display()
+    ))
+}
+
+/// `sdigest digest --knowledge FILE --log FILE [--top N] [--stages TRC] [--stream]`
+pub fn cmd_digest(p: &Parsed) -> CmdResult {
+    let ktext = fs::read_to_string(p.req("knowledge")?)
+        .map_err(|e| io_err("reading knowledge", e))?;
+    let k = DomainKnowledge::from_json(&ktext)
+        .map_err(|e| ArgError(format!("knowledge file is not valid: {e}")))?;
+    let (msgs, bad) = read_log(Path::new(p.req("log")?))?;
+    let top: usize = p.opt_parse("top", 20)?;
+    let gcfg = stages(p.opt("stages").unwrap_or("TRC"))?;
+
+    let mut out = String::new();
+    let events = if p.flag("stream") {
+        let mut sd = StreamDigester::new(&k, gcfg, 0);
+        let mut events = Vec::new();
+        for m in &msgs {
+            events.extend(sd.push(m));
+        }
+        let dropped = sd.n_dropped;
+        events.extend(sd.finish());
+        events.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
+        out.push_str(&format!(
+            "streamed {} messages ({bad} malformed, {dropped} unknown-router) -> {} events\n",
+            msgs.len(),
+            events.len()
+        ));
+        events
+    } else {
+        let d = digest(&k, &msgs, &gcfg);
+        out.push_str(&format!(
+            "digested {} messages ({bad} malformed, {} unknown-router) -> {} events \
+             (compression {:.2e})\n",
+            msgs.len(),
+            d.n_dropped,
+            d.events.len(),
+            d.compression_ratio()
+        ));
+        d.events
+    };
+    for (i, e) in events.iter().take(top).enumerate() {
+        out.push_str(&format!(
+            "{:>4}. [{:>10.1}] {}  ({} msgs)\n",
+            i + 1,
+            e.score,
+            e.format_line(),
+            e.size()
+        ));
+    }
+    Ok(out)
+}
+
+/// `sdigest stats --log FILE [--top N]` — raw per-code and per-router
+/// message counts (what operators look at *before* they have a digest).
+pub fn cmd_stats(p: &Parsed) -> CmdResult {
+    let (msgs, bad) = read_log(Path::new(p.req("log")?))?;
+    let top: usize = p.opt_parse("top", 15)?;
+    let mut by_code: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut by_router: BTreeMap<&str, usize> = BTreeMap::new();
+    for m in &msgs {
+        *by_code.entry(m.code.as_str()).or_insert(0) += 1;
+        *by_router.entry(m.router.as_str()).or_insert(0) += 1;
+    }
+    let mut out = format!(
+        "{} messages ({bad} malformed), {} codes, {} routers",
+        msgs.len(),
+        by_code.len(),
+        by_router.len()
+    );
+    if let (Some(first), Some(last)) = (msgs.first(), msgs.last()) {
+        out.push_str(&format!(", spanning {} .. {}", first.ts, last.ts));
+    }
+    out.push_str("\ntop codes:\n");
+    let mut codes: Vec<(&str, usize)> = by_code.into_iter().collect();
+    codes.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    for (code, c) in codes.into_iter().take(top) {
+        out.push_str(&format!("  {c:>9}  {code}\n"));
+    }
+    Ok(out)
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "sdigest — SyslogDigest command line\n\
+     \n\
+     USAGE:\n\
+       sdigest generate --out DIR [--dataset A|B] [--scale F] [--seed N]\n\
+       sdigest learn    --configs DIR --log FILE --out FILE [--profile A|B]\n\
+       sdigest digest   --knowledge FILE --log FILE [--top N] [--stages T|TR|TRC] [--stream]\n\
+       sdigest stats    --log FILE [--top N]\n"
+}
+
+/// Dispatch a parsed command line.
+pub fn dispatch(p: &Parsed) -> CmdResult {
+    match p.command.as_str() {
+        "generate" => cmd_generate(p),
+        "learn" => cmd_learn(p),
+        "digest" => cmd_digest(p),
+        "stats" => cmd_stats(p),
+        "help" | "--help" => Ok(usage().to_owned()),
+        other => Err(ArgError(format!("unknown subcommand {other:?}\n\n{}", usage()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Parsed;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sdigest-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn parse(args: &[&str]) -> Parsed {
+        Parsed::parse(args.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    #[test]
+    fn generate_learn_digest_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let out = dir.to_str().unwrap();
+
+        let msg = cmd_generate(&parse(&[
+            "generate", "--dataset", "A", "--scale", "0.08", "--out", out,
+        ]))
+        .unwrap();
+        assert!(msg.contains("routers"), "{msg}");
+        assert!(dir.join("syslog.log").exists());
+        assert!(dir.join("tickets.json").exists());
+
+        let kpath = dir.join("knowledge.json");
+        let msg = cmd_learn(&parse(&[
+            "learn",
+            "--configs",
+            dir.join("configs").to_str().unwrap(),
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--profile",
+            "A",
+            "--out",
+            kpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("templates"), "{msg}");
+        assert!(kpath.exists());
+
+        let report = cmd_digest(&parse(&[
+            "digest",
+            "--knowledge",
+            kpath.to_str().unwrap(),
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--top",
+            "5",
+        ]))
+        .unwrap();
+        assert!(report.contains("events"), "{report}");
+        assert!(report.lines().count() >= 2, "{report}");
+
+        // Streaming mode produces a report too.
+        let streamed = cmd_digest(&parse(&[
+            "digest",
+            "--knowledge",
+            kpath.to_str().unwrap(),
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--stream",
+        ]))
+        .unwrap();
+        assert!(streamed.contains("streamed"), "{streamed}");
+
+        let stats = cmd_stats(&parse(&[
+            "stats",
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(stats.contains("top codes"), "{stats}");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(cmd_generate(&parse(&["generate", "--dataset", "Z", "--out", "/tmp/x"]))
+            .is_err());
+        assert!(cmd_learn(&parse(&["learn"])).is_err());
+        assert!(dispatch(&parse(&["frobnicate"])).is_err());
+        assert!(dispatch(&parse(&["help"])).unwrap().contains("USAGE"));
+    }
+}

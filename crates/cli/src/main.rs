@@ -1,0 +1,24 @@
+//! `sdigest` — the SyslogDigest command line (see `sd_cli` for the
+//! subcommand implementations).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprint!("{}", sd_cli::commands::usage());
+        std::process::exit(2);
+    }
+    let parsed = match sd_cli::Parsed::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match sd_cli::commands::dispatch(&parsed) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

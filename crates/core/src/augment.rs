@@ -1,0 +1,117 @@
+//! Online message augmentation: raw message → Syslog+ (template id +
+//! verified locations), the first step of both the offline learner's
+//! historical pass and the online pipeline.
+
+use crate::knowledge::DomainKnowledge;
+use sd_locations::extract;
+use sd_model::{RawMessage, SyslogPlus};
+
+/// Augment one raw message. Returns `None` when the originating router is
+/// unknown to the location dictionary (such messages are counted and
+/// skipped by the pipeline — there is nothing to anchor them to).
+pub fn augment(k: &DomainKnowledge, idx: usize, m: &RawMessage) -> Option<SyslogPlus> {
+    let ex = extract(&k.dict, m)?;
+    let template = k.resolve_template(&m.code, &m.detail);
+    Some(SyslogPlus {
+        idx,
+        ts: m.ts,
+        router: ex.router,
+        template: Some(template),
+        locations: ex.locations,
+    })
+}
+
+/// Augment a whole batch, dropping unknown-router messages; returns the
+/// augmented messages and the number dropped.
+pub fn augment_batch(k: &DomainKnowledge, batch: &[RawMessage]) -> (Vec<SyslogPlus>, usize) {
+    let mut out = Vec::with_capacity(batch.len());
+    let mut dropped = 0usize;
+    for (i, m) in batch.iter().enumerate() {
+        match augment(k, i, m) {
+            Some(sp) => out.push(sp),
+            None => dropped += 1,
+        }
+    }
+    (out, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::UNKNOWN_TEMPLATE;
+    use sd_locations::LocationDictionary;
+    use sd_model::{ErrorCode, Interner, Timestamp};
+    use sd_rules::RuleSet;
+    use sd_temporal::TemporalConfig;
+    use sd_templates::{learn, LearnerConfig};
+
+    fn knowledge() -> DomainKnowledge {
+        let train: Vec<RawMessage> = (0..30)
+            .map(|i| {
+                RawMessage::new(
+                    Timestamp(i),
+                    "r1",
+                    ErrorCode::from("LINK-3-UPDOWN"),
+                    format!("Interface Serial1/{}, changed state to down", i % 20),
+                )
+            })
+            .collect();
+        let templates = learn(&train, &LearnerConfig::default());
+        let mut fallback = Interner::new();
+        fallback.intern("LINK-3-UPDOWN");
+        let cfg = "\
+hostname r1
+!
+interface Serial1/5
+ ip address 10.0.0.1 255.255.255.252
+";
+        let dict = LocationDictionary::build(&[cfg.to_owned()]);
+        DomainKnowledge::new(
+            templates,
+            fallback,
+            dict,
+            TemporalConfig::dataset_a(),
+            RuleSet::default(),
+            120,
+            Default::default(),
+        )
+    }
+
+    #[test]
+    fn augment_attaches_template_and_location() {
+        let k = knowledge();
+        let m = RawMessage::new(
+            Timestamp(99),
+            "r1",
+            ErrorCode::from("LINK-3-UPDOWN"),
+            "Interface Serial1/5, changed state to down",
+        );
+        let sp = augment(&k, 7, &m).unwrap();
+        assert_eq!(sp.idx, 7);
+        assert_eq!(sp.ts, Timestamp(99));
+        let t = sp.template.unwrap();
+        assert!(t.0 < k.templates.len() as u32);
+        let rid = k.dict.router_id("r1").unwrap();
+        assert_eq!(sp.primary_location(), k.dict.by_name(rid, "Serial1/5"));
+    }
+
+    #[test]
+    fn unknown_router_is_dropped_by_batch() {
+        let k = knowledge();
+        let batch = vec![
+            RawMessage::new(Timestamp(0), "r1", ErrorCode::from("LINK-3-UPDOWN"), "x y"),
+            RawMessage::new(Timestamp(1), "ghost", ErrorCode::from("LINK-3-UPDOWN"), "x y"),
+        ];
+        let (out, dropped) = augment_batch(&k, &batch);
+        assert_eq!(out.len(), 1);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn unknown_code_still_augments_with_unknown_template() {
+        let k = knowledge();
+        let m = RawMessage::new(Timestamp(0), "r1", ErrorCode::from("ALIEN-9-THING"), "stuff");
+        let sp = augment(&k, 0, &m).unwrap();
+        assert_eq!(sp.template, Some(UNKNOWN_TEMPLATE));
+    }
+}

@@ -1,0 +1,316 @@
+//! The three grouping stages (§4.2.1–§4.2.3) over a Syslog+ batch,
+//! fused through a union-find so the stage order cannot change the result.
+
+use crate::knowledge::DomainKnowledge;
+use crate::union_find::UnionFind;
+use sd_model::{SyslogPlus, TemplateId};
+use sd_temporal::EwmaTracker;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Which stages to run (Table 7 compares T, T+R, T+R+C).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GroupingConfig {
+    /// Temporal grouping (same template + location + router).
+    pub temporal: bool,
+    /// Rule-based grouping (different templates, same router, spatial
+    /// match, within W).
+    pub rules: bool,
+    /// Cross-router grouping (same template, connected locations, ~1 s).
+    pub cross: bool,
+    /// Cross-router simultaneity window in seconds (paper: 1 s).
+    pub cross_window_secs: i64,
+}
+
+impl Default for GroupingConfig {
+    fn default() -> Self {
+        GroupingConfig { temporal: true, rules: true, cross: true, cross_window_secs: 1 }
+    }
+}
+
+impl GroupingConfig {
+    /// Temporal stage only.
+    pub fn t_only() -> Self {
+        GroupingConfig { rules: false, cross: false, ..Self::default() }
+    }
+
+    /// Temporal + rule-based.
+    pub fn t_r() -> Self {
+        GroupingConfig { cross: false, ..Self::default() }
+    }
+}
+
+/// Result of grouping one batch.
+#[derive(Debug, Clone)]
+pub struct GroupingResult {
+    /// Group index per batch element (dense, by first appearance).
+    pub group_of: Vec<usize>,
+    /// Number of groups.
+    pub n_groups: usize,
+    /// Undirected rule pairs that actually merged messages ("active
+    /// rules", the third series of Figure 12).
+    pub active_rules: HashSet<(u32, u32)>,
+}
+
+impl GroupingResult {
+    /// Compression ratio: groups / messages (0 on an empty batch).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.group_of.is_empty() {
+            return 0.0;
+        }
+        self.n_groups as f64 / self.group_of.len() as f64
+    }
+
+    /// Member batch-indices per group.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_groups];
+        for (i, &g) in self.group_of.iter().enumerate() {
+            out[g].push(i);
+        }
+        out
+    }
+}
+
+/// Group a time-sorted augmented batch.
+pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) -> GroupingResult {
+    let mut uf = UnionFind::new(batch.len());
+    let mut active_rules: HashSet<(u32, u32)> = HashSet::new();
+
+    // ---- temporal stage -------------------------------------------------
+    if cfg.temporal {
+        let mut trackers: HashMap<(u32, u32, u32), (EwmaTracker, usize)> = HashMap::new();
+        for (i, sp) in batch.iter().enumerate() {
+            let key = tkey(sp);
+            match trackers.get_mut(&key) {
+                None => {
+                    let mut tr = EwmaTracker::new();
+                    tr.observe(sp.ts, &k.temporal);
+                    trackers.insert(key, (tr, i));
+                }
+                Some((tr, last)) => {
+                    let new_group = tr.observe(sp.ts, &k.temporal);
+                    if !new_group {
+                        uf.union(*last, i);
+                    }
+                    *last = i;
+                }
+            }
+        }
+    }
+
+    // ---- rule-based stage ------------------------------------------------
+    if cfg.rules {
+        // Per router: a recent representative per (template, location).
+        let mut recent: HashMap<u32, HashMap<(u32, u32), (usize, sd_model::Timestamp)>> =
+            HashMap::new();
+        let w = k.window_secs;
+        for (j, sp) in batch.iter().enumerate() {
+            let Some(tj) = sp.template else { continue };
+            let loc_j = sp.primary_location();
+            let rmap = recent.entry(sp.router.0).or_default();
+            for (&(t2, loc2), &(i2, ts2)) in rmap.iter() {
+                if sp.ts.seconds_since(ts2) > w {
+                    continue;
+                }
+                if t2 == tj.0 {
+                    continue;
+                }
+                if !k.rules.related(tj, TemplateId(t2)) {
+                    continue;
+                }
+                let spatial = match loc_j {
+                    Some(a) => k
+                        .dict
+                        .spatially_match(a, sd_model::LocationId(loc2)),
+                    None => false,
+                };
+                if spatial && uf.union(i2, j) {
+                    active_rules.insert((tj.0.min(t2), tj.0.max(t2)));
+                } else if spatial {
+                    active_rules.insert((tj.0.min(t2), tj.0.max(t2)));
+                }
+            }
+            if let Some(loc) = loc_j {
+                rmap.insert((tj.0, loc.0), (j, sp.ts));
+            }
+            // Prune stale representatives occasionally.
+            if rmap.len() > 256 {
+                let now = sp.ts;
+                rmap.retain(|_, &mut (_, ts)| now.seconds_since(ts) <= w);
+            }
+        }
+    }
+
+    // ---- cross-router stage ----------------------------------------------
+    if cfg.cross {
+        let cw = cfg.cross_window_secs;
+        let mut recent: HashMap<u32, VecDeque<(usize, sd_model::Timestamp)>> = HashMap::new();
+        for (j, sp) in batch.iter().enumerate() {
+            let Some(tj) = sp.template else { continue };
+            let q = recent.entry(tj.0).or_default();
+            while let Some(&(_, ts)) = q.front() {
+                if sp.ts.seconds_since(ts) > cw {
+                    q.pop_front();
+                } else {
+                    break;
+                }
+            }
+            for &(i2, _) in q.iter() {
+                let other = &batch[i2];
+                if other.router == sp.router {
+                    continue;
+                }
+                if cross_related(k, sp, other) {
+                    uf.union(i2, j);
+                }
+            }
+            q.push_back((j, sp.ts));
+            if q.len() > 1024 {
+                q.pop_front();
+            }
+        }
+    }
+
+    let (group_of, n_groups) = uf.groups();
+    GroupingResult { group_of, n_groups, active_rules }
+}
+
+fn tkey(sp: &SyslogPlus) -> (u32, u32, u32) {
+    (
+        sp.router.0,
+        sp.template.map(|t| t.0).unwrap_or(u32::MAX),
+        sp.primary_location().map(|l| l.0).unwrap_or(u32::MAX),
+    )
+}
+
+/// §4.2.3 relatedness: the two messages reference the same location (a
+/// shared LSP path or each other's elements) or locations that are the two
+/// ends of one link.
+fn cross_related(k: &DomainKnowledge, a: &SyslogPlus, b: &SyslogPlus) -> bool {
+    for &x in &a.locations {
+        for &y in &b.locations {
+            if x == y || k.dict.cross_router_related(x, y) {
+                return true;
+            }
+            // A remote reference (e.g. the neighbor's loopback behind an
+            // IP) spatially matching the other side's own location.
+            if k.dict.router_of(x) == k.dict.router_of(y) && k.dict.spatially_match(x, y) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augment::augment_batch;
+    use crate::offline::{learn, OfflineConfig};
+    use sd_model::{ErrorCode, RawMessage, Timestamp};
+    use sd_netsim::scenario::{toy_table2_messages, toy_topology};
+    use sd_netsim::config::render_all;
+
+    /// Training data that teaches the four Table 2 templates with masked
+    /// interfaces: the toy flaps replayed over many synthetic interfaces.
+    fn toy_training() -> Vec<RawMessage> {
+        let mut train = Vec::new();
+        for i in 0..25 {
+            for (code, detail, state) in [
+                ("LINK-3-UPDOWN", "Interface", "down"),
+                ("LINK-3-UPDOWN", "Interface", "up"),
+            ] {
+                train.push(RawMessage::new(
+                    Timestamp(i * 40),
+                    if i % 2 == 0 { "r1" } else { "r2" },
+                    ErrorCode::from(code),
+                    format!("{detail} Serial9/{i}.10/1:0, changed state to {state}"),
+                ));
+            }
+            for state in ["down", "up"] {
+                train.push(RawMessage::new(
+                    Timestamp(i * 40 + 1),
+                    if i % 2 == 0 { "r1" } else { "r2" },
+                    ErrorCode::from("LINEPROTO-5-UPDOWN"),
+                    format!(
+                        "Line protocol on Interface Serial9/{i}.10/1:0, changed state to {state}"
+                    ),
+                ));
+            }
+        }
+        sd_model::sort_batch(&mut train);
+        train
+    }
+
+    fn toy_knowledge() -> DomainKnowledge {
+        let topo = toy_topology();
+        let configs = render_all(&topo);
+        // Rule mining over the training flaps (LINK and LINEPROTO co-occur
+        // within seconds).
+        let mut cfg = OfflineConfig::dataset_a();
+        cfg.mine.sp_min = 0.0001;
+        learn(&configs, &toy_training(), &cfg)
+    }
+
+    /// The paper's running example: 16 messages; temporal grouping alone
+    /// gives the four per-(template, location) groups, adding rules merges
+    /// per router, adding cross-router yields the single network event.
+    #[test]
+    fn table2_toy_groups_exactly_as_paper_describes() {
+        let k = toy_knowledge();
+        let raw = toy_table2_messages();
+        let (batch, dropped) = augment_batch(&k, &raw);
+        assert_eq!(dropped, 0);
+        assert_eq!(batch.len(), 16);
+
+        let t = group(&k, &batch, &GroupingConfig::t_only());
+        assert_eq!(t.n_groups, 8, "T: per (router, template, location)");
+
+        let tr = group(&k, &batch, &GroupingConfig::t_r());
+        assert_eq!(tr.n_groups, 2, "T+R: one group per router");
+        assert!(!tr.active_rules.is_empty());
+
+        let trc = group(&k, &batch, &GroupingConfig::default());
+        assert_eq!(trc.n_groups, 1, "T+R+C: the single network event");
+    }
+
+    #[test]
+    fn compression_improves_monotonically_with_stages() {
+        let k = toy_knowledge();
+        let raw = toy_table2_messages();
+        let (batch, _) = augment_batch(&k, &raw);
+        let rt = group(&k, &batch, &GroupingConfig::t_only()).compression_ratio();
+        let rtr = group(&k, &batch, &GroupingConfig::t_r()).compression_ratio();
+        let rtrc = group(&k, &batch, &GroupingConfig::default()).compression_ratio();
+        assert!(rt >= rtr && rtr >= rtrc, "{rt} {rtr} {rtrc}");
+    }
+
+    #[test]
+    fn unrelated_routers_stay_separate() {
+        let k = toy_knowledge();
+        // Two independent flaps on r1 and r2 hours apart: no cross-router
+        // merge is possible.
+        let g = Grammar::for_vendor(sd_model::Vendor::V1);
+        let mk = |ts, r: &str, iface: &str, key: &str| {
+            let t = g.get(key);
+            RawMessage::new(Timestamp(ts), r, t.code.clone(), t.render(|_| iface.to_owned()))
+        };
+        let raw = vec![
+            mk(0, "r1", "Serial1/0.10/10:0", "LINK_DOWN"),
+            mk(10_000, "r2", "Serial1/0.20/20:0", "LINK_DOWN"),
+        ];
+        let (batch, _) = augment_batch(&k, &raw);
+        let r = group(&k, &batch, &GroupingConfig::default());
+        assert_eq!(r.n_groups, 2);
+    }
+
+    use sd_netsim::Grammar;
+
+    #[test]
+    fn empty_batch() {
+        let k = toy_knowledge();
+        let r = group(&k, &[], &GroupingConfig::default());
+        assert_eq!(r.n_groups, 0);
+        assert_eq!(r.compression_ratio(), 0.0);
+    }
+}

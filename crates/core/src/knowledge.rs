@@ -1,0 +1,223 @@
+//! The domain knowledge base (the output of offline learning in Figure 1):
+//! message templates, the location dictionary, temporal parameters, the
+//! association rule set, and historical signature frequencies for
+//! prioritization. Serializable, so a learned base can be shipped to the
+//! online system.
+
+use sd_locations::LocationDictionary;
+use sd_model::{ErrorCode, Interner, RouterId, TemplateId};
+use sd_rules::RuleSet;
+use sd_temporal::TemporalConfig;
+use sd_templates::TemplateSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sentinel template id for codes never seen during training.
+pub const UNKNOWN_TEMPLATE: TemplateId = TemplateId(u32::MAX);
+
+/// Everything the online digester needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainKnowledge {
+    /// Learned message templates.
+    pub templates: TemplateSet,
+    /// Per-code fallback pseudo-templates for messages that match no
+    /// learned template; ids start at `templates.len()`.
+    pub fallback_codes: Interner,
+    /// Location dictionary learned from configs.
+    pub dict: LocationDictionary,
+    /// Calibrated temporal parameters.
+    pub temporal: TemporalConfig,
+    /// Learned association rules.
+    pub rules: RuleSet,
+    /// Rule/transaction window W in seconds (Table 6: 120 for A, 40 for B).
+    pub window_secs: i64,
+    /// Historical per-(router, template) message counts — the `f_m` of
+    /// §4.2.4 (stored as a Vec for serde friendliness).
+    freq: Vec<((u32, u32), u64)>,
+    #[serde(skip)]
+    freq_map: HashMap<(u32, u32), u64>,
+}
+
+impl DomainKnowledge {
+    /// Assemble a knowledge base.
+    pub fn new(
+        templates: TemplateSet,
+        fallback_codes: Interner,
+        dict: LocationDictionary,
+        temporal: TemporalConfig,
+        rules: RuleSet,
+        window_secs: i64,
+        freq_map: HashMap<(u32, u32), u64>,
+    ) -> Self {
+        let mut freq: Vec<((u32, u32), u64)> = freq_map.iter().map(|(&k, &v)| (k, v)).collect();
+        freq.sort_unstable();
+        DomainKnowledge {
+            templates,
+            fallback_codes,
+            dict,
+            temporal,
+            rules,
+            window_secs,
+            freq,
+            freq_map,
+        }
+    }
+
+    /// Rebuild all skipped lookup structures (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.templates.rebuild_index();
+        self.fallback_codes.rebuild_index();
+        self.dict.rebuild_index();
+        self.rules.rebuild_index();
+        self.freq_map = self.freq.iter().copied().collect();
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON (indexes rebuilt).
+    pub fn from_json(text: &str) -> serde_json::Result<Self> {
+        let mut k: DomainKnowledge = serde_json::from_str(text)?;
+        k.rebuild_index();
+        Ok(k)
+    }
+
+    /// Resolve a message's template: learned template if one matches, the
+    /// per-code fallback if the code was seen in training, otherwise
+    /// [`UNKNOWN_TEMPLATE`].
+    pub fn resolve_template(&self, code: &ErrorCode, detail: &str) -> TemplateId {
+        let toks: Vec<&str> = detail.split_whitespace().collect();
+        if let Some(t) = self.templates.match_detail(code, &toks) {
+            return t;
+        }
+        match self.fallback_codes.get(code.as_str()) {
+            Some(i) => TemplateId(self.templates.len() as u32 + i),
+            None => UNKNOWN_TEMPLATE,
+        }
+    }
+
+    /// Human-readable signature of a template id (learned masked string,
+    /// `code/*` for fallbacks, `?` for unknown).
+    pub fn template_signature(&self, t: TemplateId) -> String {
+        if t == UNKNOWN_TEMPLATE {
+            return "?".to_owned();
+        }
+        let n = self.templates.len() as u32;
+        if t.0 < n {
+            self.templates.get(t).masked()
+        } else {
+            format!("{} *", self.fallback_codes.resolve(t.0 - n))
+        }
+    }
+
+    /// Historical frequency `f_m` of template `t` on `router` (min 1).
+    pub fn frequency(&self, router: RouterId, t: TemplateId) -> u64 {
+        self.freq_map.get(&(router.0, t.0)).copied().unwrap_or(1)
+    }
+
+    /// Fold additional per-(router, template) observation counts into the
+    /// frequency table (used by the weekly refresh as new history accrues).
+    pub fn merge_frequencies(&mut self, items: impl IntoIterator<Item = ((u32, u32), u64)>) {
+        for (key, n) in items {
+            *self.freq_map.entry(key).or_insert(0) += n;
+        }
+        self.freq = self.freq_map.iter().map(|(&k, &v)| (k, v)).collect();
+        self.freq.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_templates::{learn, LearnerConfig};
+
+    fn tiny_knowledge() -> DomainKnowledge {
+        let msgs: Vec<sd_model::RawMessage> = (0..30)
+            .map(|i| {
+                sd_model::RawMessage::new(
+                    sd_model::Timestamp(i),
+                    "r1",
+                    ErrorCode::from("LINK-3-UPDOWN"),
+                    format!("Interface Serial{i}/0, changed state to down"),
+                )
+            })
+            .collect();
+        let templates = learn(&msgs, &LearnerConfig::default());
+        let mut fallback = Interner::new();
+        fallback.intern("LINK-3-UPDOWN");
+        fallback.intern("SYS-1-CPURISINGTHRESHOLD");
+        let dict = LocationDictionary::build(&["hostname r1\n".to_owned()]);
+        let mut freq = HashMap::new();
+        freq.insert((0u32, 0u32), 30u64);
+        DomainKnowledge::new(
+            templates,
+            fallback,
+            dict,
+            TemporalConfig::dataset_a(),
+            RuleSet::default(),
+            120,
+            freq,
+        )
+    }
+
+    #[test]
+    fn resolve_prefers_learned_template() {
+        let k = tiny_knowledge();
+        let t = k.resolve_template(
+            &ErrorCode::from("LINK-3-UPDOWN"),
+            "Interface Serial9/0, changed state to down",
+        );
+        assert!(t.0 < k.templates.len() as u32);
+        assert_eq!(
+            k.template_signature(t),
+            "LINK-3-UPDOWN Interface * changed state to down"
+        );
+    }
+
+    #[test]
+    fn resolve_falls_back_per_code() {
+        let k = tiny_knowledge();
+        // Known code, never-seen shape.
+        let t = k.resolve_template(&ErrorCode::from("SYS-1-CPURISINGTHRESHOLD"), "whatever");
+        assert_eq!(t.0, k.templates.len() as u32 + 1);
+        assert_eq!(k.template_signature(t), "SYS-1-CPURISINGTHRESHOLD *");
+        // Unknown code.
+        let u = k.resolve_template(&ErrorCode::from("NEVER-1-SEEN"), "x");
+        assert_eq!(u, UNKNOWN_TEMPLATE);
+        assert_eq!(k.template_signature(u), "?");
+    }
+
+    #[test]
+    fn frequency_defaults_to_one() {
+        let k = tiny_knowledge();
+        assert_eq!(k.frequency(RouterId(0), TemplateId(0)), 30);
+        assert_eq!(k.frequency(RouterId(5), TemplateId(0)), 1);
+    }
+
+    #[test]
+    fn merge_frequencies_accumulates_and_survives_serde() {
+        let mut k = tiny_knowledge();
+        assert_eq!(k.frequency(RouterId(0), TemplateId(0)), 30);
+        k.merge_frequencies([((0u32, 0u32), 12u64), ((3, 9), 4)]);
+        assert_eq!(k.frequency(RouterId(0), TemplateId(0)), 42);
+        assert_eq!(k.frequency(RouterId(3), TemplateId(9)), 4);
+        let back = DomainKnowledge::from_json(&k.to_json().unwrap()).unwrap();
+        assert_eq!(back.frequency(RouterId(0), TemplateId(0)), 42);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behavior() {
+        let k = tiny_knowledge();
+        let json = k.to_json().unwrap();
+        let back = DomainKnowledge::from_json(&json).unwrap();
+        let t = back.resolve_template(
+            &ErrorCode::from("LINK-3-UPDOWN"),
+            "Interface Serial3/0, changed state to down",
+        );
+        assert!(t.0 < back.templates.len() as u32);
+        assert_eq!(back.frequency(RouterId(0), TemplateId(0)), 30);
+        assert_eq!(back.window_secs, 120);
+    }
+}

@@ -1,0 +1,62 @@
+//! # syslogdigest
+//!
+//! A reproduction of **SyslogDigest** — *"What Happened in my Network?
+//! Mining Network Events from Router Syslogs"* (Qiu, Ge, Pei, Wang, Xu —
+//! IMC 2010): a system that transforms massive, minimally structured
+//! router syslog streams into a small number of prioritized, meaningful
+//! network events.
+//!
+//! The crate mirrors the paper's Figure 1 architecture:
+//!
+//! * **Offline domain-knowledge learning** ([`offline::learn`]): message
+//!   template learning (`sd-templates`), location learning from router
+//!   configs (`sd-locations`), temporal pattern calibration
+//!   (`sd-temporal`) and association rule mining (`sd-rules`), packaged
+//!   into a serializable [`DomainKnowledge`] base.
+//! * **Online processing** ([`pipeline::digest`]): augment each raw
+//!   message into Syslog+ form, group via the temporal, rule-based and
+//!   cross-router stages (merged through a union-find so stage order is
+//!   irrelevant), prioritize with the §4.2.4 score, and present one line
+//!   per event.
+//!
+//! ```
+//! use sd_netsim::{Dataset, DatasetSpec};
+//! use syslogdigest::offline::{learn, OfflineConfig};
+//! use syslogdigest::pipeline::digest;
+//! use syslogdigest::grouping::GroupingConfig;
+//!
+//! let data = Dataset::generate(DatasetSpec::preset_a().scaled(0.05));
+//! let knowledge = learn(&data.configs, data.train(), &OfflineConfig::dataset_a());
+//! let report = digest(&knowledge, data.online(), &GroupingConfig::default());
+//! assert!(report.compression_ratio() < 0.2);
+//! println!("{}", report.to_report());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod baselines;
+pub mod event;
+pub mod grouping;
+pub mod knowledge;
+pub mod metrics;
+pub mod offline;
+pub mod pipeline;
+pub mod priority;
+pub mod stream;
+pub mod union_find;
+pub mod viz;
+
+pub use augment::{augment, augment_batch};
+pub use event::{build_event, label_for, NetworkEvent};
+pub use grouping::{group, GroupingConfig, GroupingResult};
+pub use knowledge::{DomainKnowledge, UNKNOWN_TEMPLATE};
+pub use metrics::{
+    compression_table, evaluate_grouping, gt_quality, per_day_series, per_router_counts,
+    DayStats, GtQuality,
+};
+pub use offline::{learn, mining_stream, OfflineConfig};
+pub use pipeline::{digest, Digest};
+pub use priority::score_group;
+pub use stream::StreamDigester;

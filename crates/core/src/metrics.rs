@@ -1,0 +1,251 @@
+//! Evaluation metrics: compression ratios per stage combination (Table 7),
+//! per-day series (Figure 12), per-router counts (Figure 13), and — beyond
+//! the paper — quantitative grouping quality against the simulator's
+//! ground-truth event tags.
+
+use crate::augment::augment_batch;
+use crate::grouping::{group, GroupingConfig, GroupingResult};
+use crate::knowledge::DomainKnowledge;
+use crate::pipeline::digest;
+use sd_model::{GroundTruthId, RawMessage, Timestamp, DAY};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Compression ratios for T, T+R and T+R+C (the three Table 7 rows).
+pub fn compression_table(k: &DomainKnowledge, raw: &[RawMessage]) -> Vec<(String, f64)> {
+    let (batch, _) = augment_batch(k, raw);
+    [
+        ("T", GroupingConfig::t_only()),
+        ("T+R", GroupingConfig::t_r()),
+        ("T+R+C", GroupingConfig::default()),
+    ]
+    .into_iter()
+    .map(|(name, cfg)| (name.to_owned(), group(k, &batch, &cfg).compression_ratio()))
+    .collect()
+}
+
+/// One day of the Figure 12 series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DayStats {
+    /// Day index relative to the batch's first day.
+    pub day: i64,
+    /// Raw messages that day.
+    pub n_messages: usize,
+    /// Digested events that day.
+    pub n_events: usize,
+    /// Association rules that actually merged messages that day.
+    pub n_active_rules: usize,
+}
+
+/// Digest each civil day independently (the paper's operational mode —
+/// "it generally takes less than one hour to digest one day's syslog")
+/// and report the per-day counts.
+pub fn per_day_series(
+    k: &DomainKnowledge,
+    raw: &[RawMessage],
+    cfg: &GroupingConfig,
+) -> Vec<DayStats> {
+    if raw.is_empty() {
+        return Vec::new();
+    }
+    let epoch = raw[0].ts.start_of_day();
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    while lo < raw.len() {
+        let day = raw[lo].ts.day_index(epoch);
+        let day_end = Timestamp(epoch.0 + (day + 1) * DAY);
+        let hi = lo + raw[lo..].partition_point(|m| m.ts < day_end);
+        let dg = digest(k, &raw[lo..hi], cfg);
+        out.push(DayStats {
+            day,
+            n_messages: hi - lo,
+            n_events: dg.events.len(),
+            n_active_rules: dg.grouping.active_rules.len(),
+        });
+        lo = hi;
+    }
+    out
+}
+
+/// Per-router `(messages, events)` counts over one digested batch
+/// (Figure 13); an event involving several routers counts once per router.
+pub fn per_router_counts(
+    k: &DomainKnowledge,
+    raw: &[RawMessage],
+    cfg: &GroupingConfig,
+) -> Vec<(String, usize, usize)> {
+    let dg = digest(k, raw, cfg);
+    let mut msgs: HashMap<String, usize> = HashMap::new();
+    for m in raw {
+        *msgs.entry(m.router.clone()).or_insert(0) += 1;
+    }
+    let mut events: HashMap<String, usize> = HashMap::new();
+    for e in &dg.events {
+        for r in &e.routers {
+            *events.entry(k.dict.routers.resolve(r.0).to_owned()).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(String, usize, usize)> = msgs
+        .into_iter()
+        .map(|(r, m)| {
+            let e = events.get(&r).copied().unwrap_or(0);
+            (r, m, e)
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Grouping quality against the simulator's ground truth.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GtQuality {
+    /// Of message pairs grouped together, the fraction truly co-event.
+    pub pair_precision: f64,
+    /// Of truly co-event pairs, the fraction grouped together.
+    pub pair_recall: f64,
+    /// Mean number of digest groups each ground-truth event was split
+    /// into (1.0 = perfect reassembly).
+    pub fragmentation: f64,
+    /// Mean (message-weighted) purity of groups: the largest same-event
+    /// share of each group.
+    pub purity: f64,
+}
+
+/// Compare a grouping against ground-truth tags (only tagged messages are
+/// considered; background noise has no ground truth to violate).
+pub fn gt_quality(raw: &[RawMessage], batch_raw_idx: &[usize], g: &GroupingResult) -> GtQuality {
+    // Contingency counts over (gt event, group).
+    let mut cont: HashMap<(GroundTruthId, usize), u64> = HashMap::new();
+    let mut per_gt: HashMap<GroundTruthId, u64> = HashMap::new();
+    let mut per_group: HashMap<usize, u64> = HashMap::new();
+    for (bi, &ri) in batch_raw_idx.iter().enumerate() {
+        if let Some(gt) = raw[ri].gt_event {
+            let grp = g.group_of[bi];
+            *cont.entry((gt, grp)).or_insert(0) += 1;
+            *per_gt.entry(gt).or_insert(0) += 1;
+            *per_group.entry(grp).or_insert(0) += 1;
+        }
+    }
+    let pairs = |n: u64| n.saturating_mul(n.saturating_sub(1)) / 2;
+    let together_true: u64 = cont.values().map(|&c| pairs(c)).sum();
+    let together_all: u64 = per_group.values().map(|&c| pairs(c)).sum();
+    let true_all: u64 = per_gt.values().map(|&c| pairs(c)).sum();
+
+    let mut frags: HashMap<GroundTruthId, u64> = HashMap::new();
+    for &(gt, _) in cont.keys() {
+        *frags.entry(gt).or_insert(0) += 1;
+    }
+    let fragmentation = if frags.is_empty() {
+        0.0
+    } else {
+        frags.values().sum::<u64>() as f64 / frags.len() as f64
+    };
+
+    // Purity: per group, max single-event share, weighted by group size.
+    let mut max_per_group: HashMap<usize, u64> = HashMap::new();
+    for (&(_, grp), &c) in &cont {
+        let e = max_per_group.entry(grp).or_insert(0);
+        *e = (*e).max(c);
+    }
+    let total: u64 = per_group.values().sum();
+    let purity = if total == 0 {
+        0.0
+    } else {
+        max_per_group.values().sum::<u64>() as f64 / total as f64
+    };
+
+    GtQuality {
+        pair_precision: if together_all == 0 {
+            1.0
+        } else {
+            together_true as f64 / together_all as f64
+        },
+        pair_recall: if true_all == 0 { 1.0 } else { together_true as f64 / true_all as f64 },
+        fragmentation,
+        purity,
+    }
+}
+
+/// Convenience: augment + group + score quality in one call.
+pub fn evaluate_grouping(
+    k: &DomainKnowledge,
+    raw: &[RawMessage],
+    cfg: &GroupingConfig,
+) -> GtQuality {
+    let (batch, _) = augment_batch(k, raw);
+    let g = group(k, &batch, cfg);
+    let idxs: Vec<usize> = batch.iter().map(|sp| sp.idx).collect();
+    gt_quality(raw, &idxs, &g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{learn, OfflineConfig};
+    use sd_netsim::{Dataset, DatasetSpec};
+
+    fn setup() -> (Dataset, DomainKnowledge) {
+        let d = Dataset::generate(DatasetSpec::preset_a().scaled(0.08));
+        let k = learn(&d.configs, d.train(), &OfflineConfig::dataset_a());
+        (d, k)
+    }
+
+    #[test]
+    fn table7_ordering_holds() {
+        let (d, k) = setup();
+        let table = compression_table(&k, d.online());
+        assert_eq!(table.len(), 3);
+        assert!(table[0].1 >= table[1].1, "{table:?}");
+        assert!(table[1].1 >= table[2].1, "{table:?}");
+        assert!(table[2].1 < 0.2, "{table:?}");
+    }
+
+    #[test]
+    fn per_day_series_counts_every_message() {
+        let (d, k) = setup();
+        let series = per_day_series(&k, d.online(), &GroupingConfig::default());
+        assert!(!series.is_empty());
+        let total: usize = series.iter().map(|s| s.n_messages).sum();
+        assert_eq!(total, d.online().len());
+        for s in &series {
+            assert!(s.n_events <= s.n_messages);
+        }
+    }
+
+    #[test]
+    fn per_router_counts_are_less_skewed_for_events() {
+        let (d, k) = setup();
+        let rows = per_router_counts(&k, d.online(), &GroupingConfig::default());
+        assert!(rows.len() >= 4);
+        // Figure 13: routers with many messages get better compression —
+        // the top-message router's event/message ratio is below the
+        // bottom-message router's.
+        let top = &rows[0];
+        let bottom = rows.iter().rev().find(|r| r.1 > 0 && r.2 > 0).unwrap();
+        let top_ratio = top.2 as f64 / top.1 as f64;
+        let bottom_ratio = bottom.2 as f64 / bottom.1 as f64;
+        assert!(
+            top_ratio <= bottom_ratio,
+            "top {top:?} ratio {top_ratio} vs bottom {bottom:?} ratio {bottom_ratio}"
+        );
+    }
+
+    #[test]
+    fn grouping_quality_against_ground_truth_is_high() {
+        let (d, k) = setup();
+        let q = evaluate_grouping(&k, d.online(), &GroupingConfig::default());
+        assert!(q.pair_precision > 0.7, "precision {}", q.pair_precision);
+        assert!(q.purity > 0.8, "purity {}", q.purity);
+        assert!(q.pair_recall > 0.3, "recall {}", q.pair_recall);
+        assert!(q.fragmentation < 20.0, "fragmentation {}", q.fragmentation);
+    }
+
+    #[test]
+    fn stages_improve_recall_without_wrecking_precision() {
+        let (d, k) = setup();
+        let t = evaluate_grouping(&k, d.online(), &GroupingConfig::t_only());
+        let trc = evaluate_grouping(&k, d.online(), &GroupingConfig::default());
+        assert!(trc.pair_recall >= t.pair_recall, "t {t:?} trc {trc:?}");
+        assert!(trc.fragmentation <= t.fragmentation, "t {t:?} trc {trc:?}");
+    }
+}

@@ -1,0 +1,408 @@
+//! Streaming online digestion.
+//!
+//! [`pipeline::digest`](crate::pipeline::digest) processes a finished
+//! batch; real deployments consume the syslog feed continuously. The
+//! [`StreamDigester`] accepts one message at a time, maintains exactly the
+//! batch pipeline's grouping state incrementally, and *closes* a group —
+//! emitting its [`NetworkEvent`] — once the group has been idle longer
+//! than every mechanism that could still grow it:
+//!
+//! * temporal grouping never bridges a gap above `Smax`,
+//! * rule-based grouping looks back at most `W`,
+//! * cross-router grouping looks back ~1 s,
+//!
+//! so with `idle_close ≥ max(Smax, W)` the streaming partition is
+//! **identical** to the batch partition of the same input (a property the
+//! integration tests assert).
+
+use crate::event::{build_event, NetworkEvent};
+use crate::grouping::GroupingConfig;
+use crate::knowledge::DomainKnowledge;
+use crate::priority::score_group;
+use sd_model::{LocationId, RawMessage, SyslogPlus, TemplateId, Timestamp};
+use sd_temporal::EwmaTracker;
+use std::collections::{HashMap, VecDeque};
+
+/// One open (not yet emitted) group.
+#[derive(Debug, Default)]
+struct OpenGroup {
+    /// Member sequence numbers.
+    members: Vec<u64>,
+    /// Latest member timestamp (drives closure).
+    last_ts: Timestamp,
+}
+
+/// Incremental digester over a time-ordered syslog feed.
+pub struct StreamDigester<'k> {
+    k: &'k DomainKnowledge,
+    cfg: GroupingConfig,
+    /// Idle horizon after which a group can no longer grow.
+    idle_close: i64,
+
+    next_seq: u64,
+    /// Open messages by sequence number.
+    open: HashMap<u64, SyslogPlus>,
+    /// Raw copies of open messages (events own their text on emission).
+    raw: HashMap<u64, RawMessage>,
+    /// Union-find over open sequence numbers.
+    parent: HashMap<u64, u64>,
+    /// Group state, keyed by current root.
+    groups: HashMap<u64, OpenGroup>,
+
+    // Stage state (mirrors `grouping::group`).
+    trackers: HashMap<(u32, u32, u32), (EwmaTracker, u64)>,
+    recent_rules: HashMap<u32, HashMap<(u32, u32), (u64, Timestamp)>>,
+    recent_cross: HashMap<u32, VecDeque<(u64, Timestamp)>>,
+
+    /// Messages dropped (unknown router).
+    pub n_dropped: usize,
+    /// Messages accepted.
+    pub n_input: usize,
+    clock: Timestamp,
+    since_sweep: usize,
+}
+
+impl<'k> StreamDigester<'k> {
+    /// New digester. `idle_close` is clamped up to
+    /// `max(Smax, W, cross window)` so closure can never split a group the
+    /// batch pipeline would have joined.
+    pub fn new(k: &'k DomainKnowledge, cfg: GroupingConfig, idle_close: i64) -> Self {
+        let floor = k.temporal.s_max.max(k.window_secs).max(cfg.cross_window_secs);
+        StreamDigester {
+            k,
+            cfg,
+            idle_close: idle_close.max(floor),
+            next_seq: 0,
+            open: HashMap::new(),
+            raw: HashMap::new(),
+            parent: HashMap::new(),
+            groups: HashMap::new(),
+            trackers: HashMap::new(),
+            recent_rules: HashMap::new(),
+            recent_cross: HashMap::new(),
+            n_dropped: 0,
+            n_input: 0,
+            clock: Timestamp(i64::MIN),
+            since_sweep: 0,
+        }
+    }
+
+    /// The effective idle-closure horizon in seconds.
+    pub fn idle_close_secs(&self) -> i64 {
+        self.idle_close
+    }
+
+    /// Number of currently open groups.
+    pub fn open_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn find(&mut self, mut x: u64) -> u64 {
+        // Path compression over the hash-based forest.
+        let mut path = Vec::new();
+        while self.parent[&x] != x {
+            path.push(x);
+            x = self.parent[&x];
+        }
+        for p in path {
+            self.parent.insert(p, x);
+        }
+        x
+    }
+
+    fn union(&mut self, a: u64, b: u64) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let ga = self.groups.remove(&ra).expect("root has state");
+        let gb = self.groups.remove(&rb).expect("root has state");
+        // Attach the smaller under the larger.
+        let (root, child, mut groot, gchild) = if ga.members.len() >= gb.members.len() {
+            (ra, rb, ga, gb)
+        } else {
+            (rb, ra, gb, ga)
+        };
+        self.parent.insert(child, root);
+        groot.members.extend(gchild.members);
+        groot.last_ts = groot.last_ts.max(gchild.last_ts);
+        self.groups.insert(root, groot);
+    }
+
+    /// Feed one message (must be non-decreasing in time); returns any
+    /// events that became closable.
+    pub fn push(&mut self, m: &RawMessage) -> Vec<NetworkEvent> {
+        self.n_input += 1;
+        self.clock = self.clock.max(m.ts);
+        let seq = self.next_seq;
+        let Some(sp) = crate::augment::augment(self.k, seq as usize, m) else {
+            self.n_dropped += 1;
+            return self.maybe_sweep();
+        };
+        self.next_seq += 1;
+        self.parent.insert(seq, seq);
+        self.groups.insert(seq, OpenGroup { members: vec![seq], last_ts: sp.ts });
+
+        // --- temporal stage ---
+        if self.cfg.temporal {
+            let key = (
+                sp.router.0,
+                sp.template.map(|t| t.0).unwrap_or(u32::MAX),
+                sp.primary_location().map(|l| l.0).unwrap_or(u32::MAX),
+            );
+            match self.trackers.get_mut(&key) {
+                None => {
+                    let mut tr = EwmaTracker::new();
+                    tr.observe(sp.ts, &self.k.temporal);
+                    self.trackers.insert(key, (tr, seq));
+                }
+                Some((tr, last)) => {
+                    let new_group = tr.observe(sp.ts, &self.k.temporal);
+                    let last_seq = *last;
+                    *last = seq;
+                    if !new_group && self.open.contains_key(&last_seq) {
+                        self.union(last_seq, seq);
+                    }
+                }
+            }
+        }
+
+        // --- rule-based stage ---
+        if self.cfg.rules {
+            let w = self.k.window_secs;
+            if let Some(tj) = sp.template {
+                let loc_j = sp.primary_location();
+                let unions: Vec<u64> = {
+                    let rmap = self.recent_rules.entry(sp.router.0).or_default();
+                    let mut hits = Vec::new();
+                    for (&(t2, loc2), &(i2, ts2)) in rmap.iter() {
+                        if sp.ts.seconds_since(ts2) > w || t2 == tj.0 {
+                            continue;
+                        }
+                        if !self.k.rules.related(tj, TemplateId(t2)) {
+                            continue;
+                        }
+                        let spatial = loc_j.is_some_and(|a| {
+                            self.k.dict.spatially_match(a, LocationId(loc2))
+                        });
+                        if spatial {
+                            hits.push(i2);
+                        }
+                    }
+                    if let Some(loc) = loc_j {
+                        rmap.insert((tj.0, loc.0), (seq, sp.ts));
+                    }
+                    if rmap.len() > 256 {
+                        let now = sp.ts;
+                        rmap.retain(|_, &mut (_, ts)| now.seconds_since(ts) <= w);
+                    }
+                    hits
+                };
+                for i2 in unions {
+                    if self.open.contains_key(&i2) {
+                        self.union(i2, seq);
+                    }
+                }
+            }
+        }
+
+        // --- cross-router stage ---
+        if self.cfg.cross {
+            let cw = self.cfg.cross_window_secs;
+            if let Some(tj) = sp.template {
+                let unions: Vec<u64> = {
+                    let q = self.recent_cross.entry(tj.0).or_default();
+                    while let Some(&(_, ts)) = q.front() {
+                        if sp.ts.seconds_since(ts) > cw {
+                            q.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                    q.iter().map(|&(i, _)| i).collect()
+                };
+                for i2 in unions {
+                    let Some(other) = self.open.get(&i2) else { continue };
+                    if other.router != sp.router && cross_related(self.k, &sp, other) {
+                        self.union(i2, seq);
+                    }
+                }
+                let q = self.recent_cross.entry(tj.0).or_default();
+                q.push_back((seq, sp.ts));
+                if q.len() > 1024 {
+                    q.pop_front();
+                }
+            }
+        }
+
+        self.open.insert(seq, sp);
+        self.raw.insert(seq, m.clone());
+        self.maybe_sweep()
+    }
+
+    fn maybe_sweep(&mut self) -> Vec<NetworkEvent> {
+        self.since_sweep += 1;
+        if self.since_sweep < 256 {
+            return Vec::new();
+        }
+        self.since_sweep = 0;
+        self.sweep(false)
+    }
+
+    fn sweep(&mut self, close_all: bool) -> Vec<NetworkEvent> {
+        let horizon = self.clock.plus(-self.idle_close);
+        let closable: Vec<u64> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| close_all || g.last_ts < horizon)
+            .map(|(&root, _)| root)
+            .collect();
+        let mut events = Vec::with_capacity(closable.len());
+        for root in closable {
+            let g = self.groups.remove(&root).expect("closable root");
+            // Materialize a mini-batch preserving SyslogPlus order by seq.
+            let mut members = g.members;
+            members.sort_unstable();
+            let batch: Vec<SyslogPlus> = members
+                .iter()
+                .map(|s| {
+                    let mut sp = self.open.remove(s).expect("open member");
+                    sp.idx = *s as usize; // global sequence number
+                    self.raw.remove(s);
+                    self.parent.remove(s);
+                    sp
+                })
+                .collect();
+            let idxs: Vec<usize> = (0..batch.len()).collect();
+            let score = score_group(self.k, &batch, &idxs);
+            events.push(build_event(self.k, &batch, &idxs, score));
+        }
+        events.sort_by(|a, b| a.start.cmp(&b.start));
+        events
+    }
+
+    /// Close and emit every remaining group (end of the feed).
+    pub fn finish(mut self) -> Vec<NetworkEvent> {
+        self.sweep(true)
+    }
+}
+
+/// Same predicate as the batch cross-router stage.
+fn cross_related(k: &DomainKnowledge, a: &SyslogPlus, b: &SyslogPlus) -> bool {
+    for &x in &a.locations {
+        for &y in &b.locations {
+            if x == y || k.dict.cross_router_related(x, y) {
+                return true;
+            }
+            if k.dict.router_of(x) == k.dict.router_of(y) && k.dict.spatially_match(x, y) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{learn, OfflineConfig};
+    use crate::pipeline::digest;
+    use sd_netsim::{Dataset, DatasetSpec};
+
+    fn setup() -> (Dataset, DomainKnowledge) {
+        let d = Dataset::generate(DatasetSpec::preset_a().scaled(0.08));
+        let k = learn(&d.configs, d.train(), &OfflineConfig::dataset_a());
+        (d, k)
+    }
+
+    /// The keystone property: streaming with a safe idle horizon produces
+    /// exactly the batch partition.
+    #[test]
+    fn streaming_partition_matches_batch() {
+        let (d, k) = setup();
+        let online = d.online();
+        let cfg = GroupingConfig::default();
+
+        let batch_digest = digest(&k, online, &cfg);
+
+        let mut sd = StreamDigester::new(&k, cfg, 0);
+        let mut events = Vec::new();
+        for m in online {
+            events.extend(sd.push(m));
+        }
+        events.extend(sd.finish());
+
+        assert_eq!(events.len(), batch_digest.events.len());
+        // Same partition: compare sorted member-idx sets.
+        let norm = |evs: &[NetworkEvent]| {
+            let mut v: Vec<Vec<usize>> = evs.iter().map(|e| e.message_idxs.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&events), norm(&batch_digest.events));
+        let total: usize = events.iter().map(|e| e.size()).sum();
+        assert_eq!(total, sd_total(online.len(), batch_digest.n_dropped));
+    }
+
+    fn sd_total(input: usize, dropped: usize) -> usize {
+        input - dropped
+    }
+
+    /// Events are emitted progressively, not all at the end.
+    #[test]
+    fn events_are_emitted_before_the_feed_ends() {
+        let (d, k) = setup();
+        let online = d.online();
+        let mut sd = StreamDigester::new(&k, GroupingConfig::default(), 0);
+        let mut early = 0usize;
+        for m in &online[..online.len() * 3 / 4] {
+            early += sd.push(m).len();
+        }
+        assert!(early > 0, "no events emitted in the first three quarters");
+        let rest = sd.finish();
+        assert!(!rest.is_empty());
+    }
+
+    /// Open-state size stays bounded by the idle horizon, not the feed
+    /// length (the operational reason to stream at all).
+    #[test]
+    fn open_state_is_bounded() {
+        let (d, k) = setup();
+        let online = d.online();
+        let mut sd = StreamDigester::new(&k, GroupingConfig::default(), 0);
+        let mut max_open = 0usize;
+        for m in online {
+            sd.push(m);
+            max_open = max_open.max(sd.open_groups());
+        }
+        assert!(
+            max_open < online.len() / 2,
+            "open groups peaked at {max_open} for {} messages",
+            online.len()
+        );
+    }
+
+    #[test]
+    fn idle_close_is_clamped_to_safety_floor() {
+        let (_, k) = setup();
+        let sd = StreamDigester::new(&k, GroupingConfig::default(), 1);
+        assert!(sd.idle_close_secs() >= k.temporal.s_max);
+        assert!(sd.idle_close_secs() >= k.window_secs);
+    }
+
+    #[test]
+    fn unknown_routers_are_counted_not_grouped() {
+        let (_, k) = setup();
+        let mut sd = StreamDigester::new(&k, GroupingConfig::default(), 0);
+        let m = RawMessage::new(
+            Timestamp(0),
+            "ghost",
+            sd_model::ErrorCode::from("X-1-Y"),
+            "whatever",
+        );
+        sd.push(&m);
+        assert_eq!(sd.n_dropped, 1);
+        assert_eq!(sd.finish().len(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Online location parsing: map each raw syslog message to verified
+//! dictionary locations (the "Location Parsing" box of Figure 1).
+//!
+//! Pattern matching alone is insufficient — a message can contain several
+//! IPs and interface-like tokens (local, neighbor, remote, or even scanner
+//! junk). Every candidate is therefore *verified against the dictionary*:
+//! only locations the configuration actually knows are returned, split
+//! into the message's own router's locations (finest first) and remote
+//! references (the neighbor's interface behind an IP, a shared LSP name).
+
+use crate::dict::LocationDictionary;
+use crate::names::parse_ip_token;
+use sd_model::{LocationId, RawMessage, RouterId};
+
+/// Locations extracted from one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extracted {
+    /// The originating router.
+    pub router: RouterId,
+    /// Verified locations: local ones first (deepest first), then remote
+    /// references. Never empty — falls back to the router's own location.
+    pub locations: Vec<LocationId>,
+}
+
+/// Extract and verify the locations of `m`. Returns `None` when the
+/// originating router is not in the dictionary at all.
+pub fn extract(dict: &LocationDictionary, m: &RawMessage) -> Option<Extracted> {
+    let rid = dict.router_id(&m.router)?;
+    let mut locals: Vec<LocationId> = Vec::new();
+    let mut remotes: Vec<LocationId> = Vec::new();
+
+    let push = |loc: LocationId, locals: &mut Vec<LocationId>, remotes: &mut Vec<LocationId>| {
+        if dict.router_of(loc) == rid {
+            if !locals.contains(&loc) {
+                locals.push(loc);
+            }
+        } else if !remotes.contains(&loc) {
+            remotes.push(loc);
+        }
+    };
+
+    let toks: Vec<&str> = m.detail.split_whitespace().collect();
+    for (i, raw) in toks.iter().enumerate() {
+        let tok = strip(raw);
+        if tok.is_empty() {
+            continue;
+        }
+        // Two-token forms: `T3 1/0/0` controllers and `slot 3`.
+        if tok == "T3" {
+            if let Some(next) = toks.get(i + 1) {
+                let name = format!("T3 {}", strip(next));
+                if let Some(loc) = dict.by_name(rid, &name) {
+                    push(loc, &mut locals, &mut remotes);
+                }
+            }
+            continue;
+        }
+        if tok == "slot" {
+            if let Some(next) = toks.get(i + 1) {
+                if let Ok(s) = strip(next).parse::<u8>() {
+                    if let Some(loc) = dict.slot(rid, s) {
+                        push(loc, &mut locals, &mut remotes);
+                    }
+                }
+            }
+            continue;
+        }
+        // Interface / port names (verified against this router's config).
+        if let Some(loc) = dict.by_name(rid, tok) {
+            push(loc, &mut locals, &mut remotes);
+            continue;
+        }
+        // LSP names are globally unique.
+        if tok.starts_with("LSP-") {
+            if let Some(loc) = dict.path(tok) {
+                push(loc, &mut locals, &mut remotes);
+            }
+            continue;
+        }
+        // IPs, optionally with a `:port` tail. Unverifiable IPs (scanners,
+        // remote hosts) are dropped — the dictionary is the arbiter.
+        let ip_part = match tok.split_once(':') {
+            Some((l, r)) if r.chars().all(|c| c.is_ascii_digit()) => l,
+            _ => tok,
+        };
+        if let Some(ip) = parse_ip_token(ip_part) {
+            if let Some(loc) = dict.by_ip(&ip) {
+                push(loc, &mut locals, &mut remotes);
+            }
+        }
+    }
+
+    // Deepest local location first; fall back to the router node.
+    locals.sort_by_key(|l| std::cmp::Reverse(dict.info(*l).level.depth()));
+    if locals.is_empty() {
+        locals.push(dict.router_location(rid));
+    }
+    locals.extend(remotes);
+    Some(Extracted { router: rid, locations: locals })
+}
+
+/// Trim message punctuation that glues to location tokens.
+fn strip(tok: &str) -> &str {
+    tok.trim_start_matches(['(', '"', '['])
+        .trim_end_matches([',', '.', ')', '"', ';', ']'])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_model::{ErrorCode, LocationLevel, Timestamp};
+
+    fn dict() -> LocationDictionary {
+        let cfg_a = "\
+hostname r1
+site nyc state NY
+!
+controller T3 1/0/0
+!
+interface Loopback0
+ ip address 10.255.0.1 255.255.255.255
+!
+interface Serial1/0
+ no ip address
+!
+interface Serial1/0.10/10:0
+ ip address 10.0.0.1 255.255.255.252
+ description link to r2 Serial1/0.20/20:0
+!
+mpls lsp LSP-r1-r2-sec to r2 path r1 r2
+";
+        let cfg_b = "\
+hostname r2
+site chi state IL
+!
+interface Loopback0
+ ip address 10.255.0.2 255.255.255.255
+!
+interface Serial1/0.20/20:0
+ ip address 10.0.0.2 255.255.255.252
+ description link to r1 Serial1/0.10/10:0
+!
+";
+        LocationDictionary::build(&[cfg_a.to_owned(), cfg_b.to_owned()])
+    }
+
+    fn msg(router: &str, detail: &str) -> RawMessage {
+        RawMessage::new(Timestamp(0), router, ErrorCode::from("X-1-Y"), detail)
+    }
+
+    #[test]
+    fn interface_with_punctuation_is_found() {
+        let d = dict();
+        let e = extract(&d, &msg("r1", "Interface Serial1/0.10/10:0, changed state to down"))
+            .unwrap();
+        let r1 = d.router_id("r1").unwrap();
+        assert_eq!(e.locations[0], d.by_name(r1, "Serial1/0.10/10:0").unwrap());
+    }
+
+    #[test]
+    fn controller_two_token_form() {
+        let d = dict();
+        let e = extract(&d, &msg("r1", "Controller T3 1/0/0, changed state to down")).unwrap();
+        let r1 = d.router_id("r1").unwrap();
+        assert_eq!(e.locations[0], d.by_name(r1, "T3 1/0/0").unwrap());
+        assert_eq!(d.info(e.locations[0]).level, LocationLevel::Port);
+    }
+
+    #[test]
+    fn slot_two_token_form() {
+        let d = dict();
+        let e = extract(&d, &msg("r1", "Linecard in slot 1 failed, resetting")).unwrap();
+        let r1 = d.router_id("r1").unwrap();
+        assert_eq!(e.locations[0], d.slot(r1, 1).unwrap());
+    }
+
+    #[test]
+    fn neighbor_ip_resolves_to_remote_location_after_local() {
+        let d = dict();
+        let e = extract(
+            &d,
+            &msg("r1", "Nbr 10.255.0.2 on Serial1/0.10/10:0 from FULL to DOWN"),
+        )
+        .unwrap();
+        let r1 = d.router_id("r1").unwrap();
+        let r2 = d.router_id("r2").unwrap();
+        assert_eq!(e.locations[0], d.by_name(r1, "Serial1/0.10/10:0").unwrap());
+        assert!(e.locations.contains(&d.by_name(r2, "Loopback0").unwrap()));
+    }
+
+    #[test]
+    fn unverifiable_ips_are_dropped() {
+        let d = dict();
+        let e = extract(&d, &msg("r1", "Invalid MD5 digest from 172.16.9.9:1234 to 10.255.0.1:179"))
+            .unwrap();
+        let r1 = d.router_id("r1").unwrap();
+        // Scanner address ignored; local loopback verified.
+        assert_eq!(e.locations, vec![d.by_name(r1, "Loopback0").unwrap()]);
+    }
+
+    #[test]
+    fn router_fallback_when_nothing_matches() {
+        let d = dict();
+        let e = extract(&d, &msg("r1", "Configured from console by jsmith on vty0 (192.168.1.1)"))
+            .unwrap();
+        let r1 = d.router_id("r1").unwrap();
+        assert_eq!(e.locations, vec![d.router_location(r1)]);
+    }
+
+    #[test]
+    fn unknown_router_returns_none() {
+        let d = dict();
+        assert!(extract(&d, &msg("ghost", "Interface Serial1/0, changed state to down")).is_none());
+    }
+
+    #[test]
+    fn lsp_names_resolve_globally() {
+        let d = dict();
+        let e = extract(&d, &msg("r2", "FRR protection switch for LSP LSP-r1-r2-sec to secondary path"))
+            .unwrap();
+        let p = d.path("LSP-r1-r2-sec").unwrap();
+        assert!(e.locations.contains(&p));
+    }
+
+    #[test]
+    fn local_locations_ordered_deepest_first() {
+        let d = dict();
+        let e = extract(&d, &msg("r1", "slot 1 alarm on Serial1/0.10/10:0 raised")).unwrap();
+        let r1 = d.router_id("r1").unwrap();
+        assert_eq!(e.locations[0], d.by_name(r1, "Serial1/0.10/10:0").unwrap());
+        assert_eq!(e.locations[1], d.slot(r1, 1).unwrap());
+    }
+}

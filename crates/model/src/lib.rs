@@ -1,0 +1,25 @@
+//! # sd-model
+//!
+//! Shared data model for the SyslogDigest reproduction: second-granularity
+//! [`Timestamp`]s, vendor-specific [`ErrorCode`]s, raw [`RawMessage`]s and
+//! their wire format, the augmented [`SyslogPlus`] form, and the dense id
+//! types ([`RouterId`], [`TemplateId`], [`LocationId`]) minted by the
+//! learning components.
+//!
+//! Everything here is deliberately free of mining logic — it is the
+//! vocabulary the other crates speak.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augmented;
+pub mod errorcode;
+pub mod intern;
+pub mod message;
+pub mod time;
+
+pub use augmented::{LocationId, LocationLevel, RouterId, SyslogPlus, TemplateId};
+pub use errorcode::{ErrorCode, Severity};
+pub use intern::Interner;
+pub use message::{sort_batch, GroundTruthId, RawMessage, Vendor};
+pub use time::{Timestamp, DAY, HOUR, MINUTE, WEEK};

@@ -1,0 +1,27 @@
+//! # syslogdigest-repro
+//!
+//! Workspace facade for the reproduction of *"What Happened in my Network?
+//! Mining Network Events from Router Syslogs"* (IMC 2010). Re-exports the
+//! member crates so the repository-level examples and integration tests
+//! can exercise the whole system through one dependency:
+//!
+//! * [`model`] (`sd-model`) — messages, timestamps, error codes, ids;
+//! * [`netsim`] (`sd-netsim`) — the synthetic ISP/IPTV substrate;
+//! * [`templates`] (`sd-templates`) — template learning and matching;
+//! * [`locations`] (`sd-locations`) — config-derived location knowledge;
+//! * [`temporal`] (`sd-temporal`) — EWMA interarrival mining;
+//! * [`rules`] (`sd-rules`) — association rule mining;
+//! * [`digest`] (`syslogdigest`) — the offline + online SyslogDigest core;
+//! * [`tickets`] (`sd-tickets`) — trouble tickets and §5.3 matching.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sd_locations as locations;
+pub use sd_model as model;
+pub use sd_netsim as netsim;
+pub use sd_rules as rules;
+pub use sd_temporal as temporal;
+pub use sd_templates as templates;
+pub use sd_tickets as tickets;
+pub use syslogdigest as digest;
