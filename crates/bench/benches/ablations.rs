@@ -32,7 +32,10 @@ fn bench_stage_ablation(c: &mut Criterion) {
         ("T+R+C", GroupingConfig::default()),
     ] {
         let groups = group(k, batch, &cfg).n_groups;
-        println!("[ablation] stages {name}: {groups} groups over {} messages", batch.len());
+        println!(
+            "[ablation] stages {name}: {groups} groups over {} messages",
+            batch.len()
+        );
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| group(k, batch, cfg))
         });
@@ -45,7 +48,10 @@ fn bench_pruning_k(c: &mut Criterion) {
     let slice = &d.train()[..d.train().len().min(30_000)];
     let mut g = c.benchmark_group("template_tree_k");
     for k in [3usize, 10, 30] {
-        let cfg = sd_templates::LearnerConfig { k, max_per_code: 20_000 };
+        let cfg = sd_templates::LearnerConfig {
+            k,
+            max_per_code: 20_000,
+        };
         let n = sd_templates::learn(slice, &cfg).len();
         println!("[ablation] k={k}: {n} templates learned");
         g.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
@@ -62,7 +68,9 @@ fn bench_ewma_vs_fixed(c: &mut Criterion) {
     println!("[ablation] temporal splitter: EWMA {ew} groups vs fixed-gap(300s) {fx} groups");
     let mut g = c.benchmark_group("temporal_splitter");
     g.bench_function("ewma", |b| b.iter(|| ewma_group_count(k, batch)));
-    g.bench_function("fixed_gap_300s", |b| b.iter(|| fixed_gap_group_count(batch, 300)));
+    g.bench_function("fixed_gap_300s", |b| {
+        b.iter(|| fixed_gap_group_count(batch, 300))
+    });
     g.finish();
 }
 

@@ -1,7 +1,8 @@
 //! End-to-end online pipeline throughput: augmentation, grouping, and the
 //! full digest of the online period.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sd_model::Parallelism;
 use sd_netsim::{Dataset, DatasetSpec};
 use std::sync::OnceLock;
 use syslogdigest::offline::{learn, OfflineConfig};
@@ -23,16 +24,37 @@ fn bench_pipeline(c: &mut Criterion) {
     g.throughput(Throughput::Elements(day.len() as u64));
     g.bench_function("augment_batch", |b| b.iter(|| augment_batch(k, day)));
     let (batch, _) = augment_batch(k, day);
-    g.bench_function("group_trc", |b| b.iter(|| group(k, &batch, &GroupingConfig::default())));
+    g.bench_function("group_trc", |b| {
+        b.iter(|| group(k, &batch, &GroupingConfig::default()))
+    });
     g.bench_function("digest_end_to_end", |b| {
         b.iter(|| digest(k, day, &GroupingConfig::default()))
     });
     g.finish();
 }
 
+/// The tentpole sweep: end-to-end digest at 1/2/4/8 worker threads
+/// (threads = 1 is the exact sequential code path).
+fn bench_digest_threads(c: &mut Criterion) {
+    let (d, k) = setup();
+    let day = d.online();
+    let mut g = c.benchmark_group("digest_threads");
+    g.throughput(Throughput::Elements(day.len() as u64));
+    for n in [1usize, 2, 4, 8] {
+        let cfg = GroupingConfig {
+            par: Parallelism::with_threads(n),
+            ..GroupingConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| digest(k, day, cfg))
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pipeline
+    targets = bench_pipeline, bench_digest_threads
 }
 criterion_main!(benches);

@@ -29,7 +29,9 @@ fn bench_counting(c: &mut Criterion) {
     g.finish();
 
     let co = CoOccurrence::count(s, 120);
-    c.bench_function("mine_rules", |b| b.iter(|| mine(&co, &MineConfig::default())));
+    c.bench_function("mine_rules", |b| {
+        b.iter(|| mine(&co, &MineConfig::default()))
+    });
 }
 
 criterion_group! {

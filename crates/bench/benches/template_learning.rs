@@ -3,12 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sd_netsim::{Dataset, DatasetSpec};
-use sd_templates::{learn, LearnerConfig};
+use sd_templates::{learn, learn_par, LearnerConfig};
 use std::sync::OnceLock;
 
 fn train() -> &'static [sd_model::RawMessage] {
     static DATA: OnceLock<Dataset> = OnceLock::new();
-    DATA.get_or_init(|| Dataset::generate(DatasetSpec::preset_a().scaled(0.1))).train()
+    DATA.get_or_init(|| Dataset::generate(DatasetSpec::preset_a().scaled(0.1)))
+        .train()
 }
 
 fn bench_learning(c: &mut Criterion) {
@@ -24,9 +25,24 @@ fn bench_learning(c: &mut Criterion) {
     g.finish();
 }
 
+/// Learning with the per-bucket trees built on 1/2/4/8 worker threads.
+fn bench_learning_threads(c: &mut Criterion) {
+    let msgs = train();
+    let slice = &msgs[..msgs.len().min(60_000)];
+    let mut g = c.benchmark_group("template_learning_threads");
+    g.throughput(Throughput::Elements(slice.len() as u64));
+    for n in [1usize, 2, 4, 8] {
+        let par = sd_model::Parallelism::with_threads(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &par, |b, &par| {
+            b.iter(|| learn_par(slice, &LearnerConfig::default(), par))
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_learning
+    targets = bench_learning, bench_learning_threads
 }
 criterion_main!(benches);

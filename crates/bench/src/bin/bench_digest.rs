@@ -1,0 +1,141 @@
+//! Throughput harness for the parallel sharded pipeline (BENCH-digest):
+//! measures offline learning and online digest throughput at 1/2/4/8
+//! worker threads on dataset A and writes `BENCH_digest.json` with
+//! msg/s per thread count and the speedup over the sequential path.
+//!
+//! Usage: `bench_digest [--scale F] [--reps N] [--out FILE]`
+//! (`SD_SCALE` is honored like the experiment binaries).
+
+use sd_model::Parallelism;
+use sd_netsim::{Dataset, DatasetSpec};
+use serde::Serialize;
+use std::time::Instant;
+use syslogdigest::offline::{learn, OfflineConfig};
+use syslogdigest::{digest, GroupingConfig};
+
+#[derive(Serialize)]
+struct Point {
+    threads: usize,
+    secs: f64,
+    msgs_per_sec: f64,
+    speedup_vs_1t: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    dataset: String,
+    scale: f64,
+    n_train: usize,
+    n_online: usize,
+    hardware_threads: usize,
+    reps: usize,
+    learn: Vec<Point>,
+    digest: Vec<Point>,
+}
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn points(n_msgs: usize, timed: &[(usize, f64)]) -> Vec<Point> {
+    let base = timed
+        .iter()
+        .find(|(t, _)| *t == 1)
+        .map(|&(_, s)| s)
+        .unwrap_or(f64::NAN);
+    timed
+        .iter()
+        .map(|&(threads, secs)| Point {
+            threads,
+            secs,
+            msgs_per_sec: n_msgs as f64 / secs,
+            speedup_vs_1t: base / secs,
+        })
+        .collect()
+}
+
+fn main() {
+    let mut scale: f64 = std::env::var("SD_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
+    let mut reps: usize = 3;
+    let mut out = "BENCH_digest.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).unwrap_or(reps),
+            "--out" => out = args.next().unwrap_or(out),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let d = Dataset::generate(DatasetSpec::preset_a().scaled(scale));
+    let train = d.train();
+    let online = d.online();
+    println!(
+        "BENCH-digest: dataset A scale {scale} ({} train / {} online msgs), \
+         {} hardware threads, best of {reps}",
+        train.len(),
+        online.len(),
+        Parallelism::default().threads,
+    );
+
+    let mut learn_times = Vec::new();
+    for t in THREADS {
+        let mut cfg = OfflineConfig::dataset_a();
+        cfg.par = Parallelism::with_threads(t);
+        let secs = best_secs(reps, || {
+            std::hint::black_box(learn(&d.configs, train, &cfg));
+        });
+        println!(
+            "  learn  {t} threads: {secs:>8.3} s  ({:>10.0} msg/s)",
+            train.len() as f64 / secs
+        );
+        learn_times.push((t, secs));
+    }
+
+    let k = learn(&d.configs, train, &OfflineConfig::dataset_a());
+    let mut digest_times = Vec::new();
+    for t in THREADS {
+        let cfg = GroupingConfig {
+            par: Parallelism::with_threads(t),
+            ..GroupingConfig::default()
+        };
+        let secs = best_secs(reps, || {
+            std::hint::black_box(digest(&k, online, &cfg));
+        });
+        println!(
+            "  digest {t} threads: {secs:>8.3} s  ({:>10.0} msg/s)",
+            online.len() as f64 / secs
+        );
+        digest_times.push((t, secs));
+    }
+
+    let report = Report {
+        dataset: "preset_a".to_owned(),
+        scale,
+        n_train: train.len(),
+        n_online: online.len(),
+        hardware_threads: Parallelism::default().threads,
+        reps,
+        learn: points(train.len(), &learn_times),
+        digest: points(online.len(), &digest_times),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).expect("write report");
+    println!("wrote {out}");
+}

@@ -1,2 +1,5 @@
 //! EXP-F10 binary (Figure 10).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::fig10_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::fig10_exp::run(&ctx);
+}

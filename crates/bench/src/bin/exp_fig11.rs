@@ -1,2 +1,5 @@
 //! EXP-F11 binary (Figure 11).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::fig11_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::fig11_exp::run(&ctx);
+}

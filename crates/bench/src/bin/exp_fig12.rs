@@ -1,2 +1,5 @@
 //! EXP-F12 binary (Figure 12).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::fig12_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::fig12_exp::run(&ctx);
+}

@@ -1,2 +1,5 @@
 //! EXP-F13 binary (Figure 13).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::fig13_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::fig13_exp::run(&ctx);
+}

@@ -1,2 +1,5 @@
 //! EXP-F4/F5 binary (Figures 4-5).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::fig45_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::fig45_exp::run(&ctx);
+}

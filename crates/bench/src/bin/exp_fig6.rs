@@ -1,2 +1,5 @@
 //! EXP-F6 binary (Figure 6).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::fig6_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::fig6_exp::run(&ctx);
+}

@@ -1,2 +1,5 @@
 //! EXP-F7 binary (Figure 7).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::fig7_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::fig7_exp::run(&ctx);
+}

@@ -1,2 +1,5 @@
 //! EXP-F8/F9 binary (Figures 8-9).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::fig89_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::fig89_exp::run(&ctx);
+}

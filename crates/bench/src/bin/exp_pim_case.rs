@@ -1,2 +1,5 @@
 //! EXP-PIM binary (section 6.1).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::pim_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::pim_exp::run(&ctx);
+}

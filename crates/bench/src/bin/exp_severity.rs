@@ -1,2 +1,5 @@
 //! EXP-SEV binary (severity-ranking baseline comparison).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::severity_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::severity_exp::run(&ctx);
+}

@@ -1,2 +1,5 @@
 //! EXP-T5 binary (Table 5).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::table5_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::table5_exp::run(&ctx);
+}

@@ -1,2 +1,5 @@
 //! EXP-T6 binary (Table 6).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::table6_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::table6_exp::run(&ctx);
+}

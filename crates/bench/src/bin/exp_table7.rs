@@ -1,2 +1,5 @@
 //! EXP-T7 binary (Table 7).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::table7_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::table7_exp::run(&ctx);
+}

@@ -1,2 +1,5 @@
 //! EXP-TMPL binary (section 5.2.1).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::templates_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::templates_exp::run(&ctx);
+}

@@ -1,2 +1,5 @@
 //! EXP-TKT binary (section 5.3).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::tickets_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::tickets_exp::run(&ctx);
+}

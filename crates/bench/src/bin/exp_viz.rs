@@ -1,2 +1,5 @@
 //! EXP-VIZ binary (section 6.2 / Figures 14-15).
-fn main() { let ctx = sd_bench::ctx::Ctx::from_args(); sd_bench::experiments::viz_exp::run(&ctx); }
+fn main() {
+    let ctx = sd_bench::ctx::Ctx::from_args();
+    sd_bench::experiments::viz_exp::run(&ctx);
+}

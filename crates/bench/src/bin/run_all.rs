@@ -2,7 +2,10 @@
 use sd_bench::experiments as e;
 fn main() {
     let ctx = sd_bench::ctx::Ctx::from_args();
-    println!("SyslogDigest reproduction — full evaluation (scale {})", ctx.scale);
+    println!(
+        "SyslogDigest reproduction — full evaluation (scale {})",
+        ctx.scale
+    );
     e::templates_exp::run(&ctx);
     e::table5_exp::run(&ctx);
     e::fig6_exp::run(&ctx);

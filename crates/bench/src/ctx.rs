@@ -30,7 +30,11 @@ pub struct Ctx {
 impl Ctx {
     /// Context at the given scale.
     pub fn new(scale: f64) -> Self {
-        Ctx { scale, a: OnceLock::new(), b: OnceLock::new() }
+        Ctx {
+            scale,
+            a: OnceLock::new(),
+            b: OnceLock::new(),
+        }
     }
 
     /// Parse `--scale <f>` from `std::env::args` (or the `SD_SCALE` env
@@ -51,7 +55,11 @@ impl Ctx {
             'A' => (DatasetSpec::preset_a(), OfflineConfig::dataset_a()),
             _ => (DatasetSpec::preset_b(), OfflineConfig::dataset_b()),
         };
-        let spec = if (self.scale - 1.0).abs() < 1e-9 { spec } else { spec.scaled(self.scale) };
+        let spec = if (self.scale - 1.0).abs() < 1e-9 {
+            spec
+        } else {
+            spec.scaled(self.scale)
+        };
         let t = Instant::now();
         let data = Dataset::generate(spec);
         let tg = t.elapsed();
@@ -67,7 +75,11 @@ impl Ctx {
             knowledge.templates.len(),
             knowledge.rules.len(),
         );
-        Bundle { data, knowledge, offline }
+        Bundle {
+            data,
+            knowledge,
+            offline,
+        }
     }
 
     /// Dataset A (tier-1 ISP, vendor V1) with learned knowledge.

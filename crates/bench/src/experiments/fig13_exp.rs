@@ -14,9 +14,18 @@ pub fn run(ctx: &Ctx) {
     paper("router with the most raw messages");
     let b = ctx.a();
     let rows = per_router_counts(&b.knowledge, b.data.online(), &GroupingConfig::default());
-    println!("  {:<14} {:>9} {:>8} {:>12}", "router", "messages", "events", "ratio");
+    println!(
+        "  {:<14} {:>9} {:>8} {:>12}",
+        "router", "messages", "events", "ratio"
+    );
     for (r, m, e) in rows.iter().take(12) {
-        println!("  {:<14} {:>9} {:>8} {:>12.2e}", r, m, e, *e as f64 / (*m).max(1) as f64);
+        println!(
+            "  {:<14} {:>9} {:>8} {:>12.2e}",
+            r,
+            m,
+            e,
+            *e as f64 / (*m).max(1) as f64
+        );
     }
     if rows.len() > 12 {
         println!("  ... ({} more routers)", rows.len() - 12);
@@ -30,8 +39,11 @@ pub fn run(ctx: &Ctx) {
     );
     let top_ratio = rows[0].2 as f64 / rows[0].1.max(1) as f64;
     let median_ratio = {
-        let mut rs: Vec<f64> =
-            rows.iter().filter(|r| r.1 > 0).map(|r| r.2 as f64 / r.1 as f64).collect();
+        let mut rs: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.1 > 0)
+            .map(|r| r.2 as f64 / r.1 as f64)
+            .collect();
         rs.sort_by(f64::total_cmp);
         rs[rs.len() / 2]
     };

@@ -34,22 +34,38 @@ pub fn run(_ctx: &Ctx) {
     paper("Fig 4: controller up/down in bursts across hours; Fig 5: periodic TCP bad-auth");
 
     let (_, msgs4) = fig4_controller(20101);
-    let ctl: Vec<&RawMessage> =
-        msgs4.iter().filter(|m| m.code.as_str() == "CONTROLLER-5-UPDOWN").collect();
+    let ctl: Vec<&RawMessage> = msgs4
+        .iter()
+        .filter(|m| m.code.as_str() == "CONTROLLER-5-UPDOWN")
+        .collect();
     let t0 = ctl[0].ts.start_of_day();
-    println!("  Fig 4 controller occurrences over 8 h ({} messages):", ctl.len());
+    println!(
+        "  Fig 4 controller occurrences over 8 h ({} messages):",
+        ctl.len()
+    );
     println!("    {}", timeline(&ctl, t0, 8));
     let times: Vec<Timestamp> = ctl.iter().map(|m| m.ts).collect();
-    println!("    EWMA grouping: {}", cluster_summary(&times, &TemporalConfig::dataset_a()));
+    println!(
+        "    EWMA grouping: {}",
+        cluster_summary(&times, &TemporalConfig::dataset_a())
+    );
 
     let (_, msgs5) = fig5_tcp_badauth(20102);
-    let tcp: Vec<&RawMessage> =
-        msgs5.iter().filter(|m| m.code.as_str() == "TCP-6-BADAUTH").collect();
+    let tcp: Vec<&RawMessage> = msgs5
+        .iter()
+        .filter(|m| m.code.as_str() == "TCP-6-BADAUTH")
+        .collect();
     let t0 = tcp[0].ts.start_of_day();
-    println!("  Fig 5 TCP bad-auth occurrences over 8 h ({} messages):", tcp.len());
+    println!(
+        "  Fig 5 TCP bad-auth occurrences over 8 h ({} messages):",
+        tcp.len()
+    );
     println!("    {}", timeline(&tcp, t0, 8));
     let times: Vec<Timestamp> = tcp.iter().map(|m| m.ts).collect();
-    println!("    EWMA grouping: {}", cluster_summary(&times, &TemporalConfig::dataset_a()));
+    println!(
+        "    EWMA grouping: {}",
+        cluster_summary(&times, &TemporalConfig::dataset_a())
+    );
     let gaps: Vec<i64> = times.windows(2).map(|w| w[1].seconds_since(w[0])).collect();
     let mean = gaps.iter().sum::<i64>() as f64 / gaps.len().max(1) as f64;
     println!("    mean interarrival {mean:.0}s — the periodicity the model locks onto");

@@ -23,7 +23,13 @@ pub fn run(ctx: &Ctx) {
     for sp in [0.001, 0.0005, 0.0001] {
         print!("  sp={sp:<7}");
         for conf in confs {
-            let rs = mine(&co, &MineConfig { sp_min: sp, conf_min: conf });
+            let rs = mine(
+                &co,
+                &MineConfig {
+                    sp_min: sp,
+                    conf_min: conf,
+                },
+            );
             print!(" {:>6}", rs.len());
         }
         println!();

@@ -52,7 +52,10 @@ pub fn run(ctx: &Ctx) {
         for w in curve.windows(2) {
             let (_, n0) = w[0];
             let (w1, n1) = w[1];
-            print!("{w1}:{:+.0}%  ", (n1 as f64 - n0 as f64) / (n0 as f64).max(1.0) * 100.0);
+            print!(
+                "{w1}:{:+.0}%  ",
+                (n1 as f64 - n0 as f64) / (n0 as f64).max(1.0) * 100.0
+            );
         }
         println!();
     }

@@ -27,10 +27,19 @@ pub fn run(ctx: &Ctx) {
     paper("A stabilizes after week 6, B after week 8; adds/deletes tail off to ~0");
     for (name, b) in ctx.both() {
         println!("  dataset {name}:");
-        println!("    {:<6} {:>6} {:>6} {:>8}", "week", "added", "del", "total");
+        println!(
+            "    {:<6} {:>6} {:>6} {:>8}",
+            "week", "added", "del", "total"
+        );
         let stats = weekly(b);
         for (w, s) in stats.iter().enumerate() {
-            println!("    {:<6} {:>6} {:>6} {:>8}", w + 1, s.added, s.deleted, s.total);
+            println!(
+                "    {:<6} {:>6} {:>6} {:>8}",
+                w + 1,
+                s.added,
+                s.deleted,
+                s.total
+            );
         }
         let last_churn = stats
             .iter()

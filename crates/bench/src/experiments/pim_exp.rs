@@ -29,10 +29,22 @@ pub fn run(ctx: &Ctx) {
     sim.pim_neighbor_loss(&mut rng, 0, t0);
     let gt = sim.events[0].id;
     // Chaff across every router for the same several hours.
-    let keys = ["LOGIN_V2", "SNMP_AUTH_V2", "CHASSIS_FAN", "NTP_V2", "IGMP_QUERY", "CRON_RUN"];
+    let keys = [
+        "LOGIN_V2",
+        "SNMP_AUTH_V2",
+        "CHASSIS_FAN",
+        "NTP_V2",
+        "IGMP_QUERY",
+        "CRON_RUN",
+    ];
     for i in 0..400usize {
         let router = (i * 7) % topo.routers.len();
-        sim.background(&mut rng, router, keys[i % keys.len()], t0.plus((i as i64 * 53) % 21_600));
+        sim.background(
+            &mut rng,
+            router,
+            keys[i % keys.len()],
+            t0.plus((i as i64 * 53) % 21_600),
+        );
     }
     let mut msgs = sim.msgs;
     sort_batch(&mut msgs);
@@ -66,10 +78,15 @@ pub fn run(ctx: &Ctx) {
         pieces.len()
     );
     for (e, n, rank) in pieces.iter().take(4) {
-        let codes: std::collections::BTreeSet<&str> =
-            e.message_idxs.iter().map(|&i| msgs[i].code.as_str()).collect();
-        let protocols: std::collections::BTreeSet<&str> =
-            codes.iter().map(|c| c.split('-').next().unwrap_or("")).collect();
+        let codes: std::collections::BTreeSet<&str> = e
+            .message_idxs
+            .iter()
+            .map(|&i| msgs[i].code.as_str())
+            .collect();
+        let protocols: std::collections::BTreeSet<&str> = codes
+            .iter()
+            .map(|c| c.split('-').next().unwrap_or(""))
+            .collect();
         let retries = e
             .message_idxs
             .iter()

@@ -29,10 +29,7 @@ pub fn run(ctx: &Ctx) {
         println!(
             "  dataset {name}: top-30 tickets in top-5% — section 4.2.4 score: {}/{}  |  \
              vendor-severity baseline: {}/{}",
-            score_rep.n_matched_top,
-            score_rep.n_tickets,
-            sev_rep.n_matched_top,
-            sev_rep.n_tickets
+            score_rep.n_matched_top, score_rep.n_tickets, sev_rep.n_matched_top, sev_rep.n_tickets
         );
         let med = |ranks: &[usize]| {
             let mut r: Vec<usize> = ranks.iter().copied().filter(|&x| x != usize::MAX).collect();

@@ -13,7 +13,10 @@ pub fn run(ctx: &Ctx) {
     paper("SPmin 0.001:  top 13.4% / cov 98.72% (A)   top 14.2% / cov 89.34% (B)");
     paper("SPmin 0.0005: top 27.5% / cov 99.92% (A)   top 32.3% / cov 99.95% (B)");
     paper("SPmin 0.0001: top 42.5% / cov 99.98% (A)   top 54.3% / cov 99.99% (B)");
-    println!("  {:<8} {:>10} {:>12} {:>12}", "dataset", "SPmin", "top types %", "coverage %");
+    println!(
+        "  {:<8} {:>10} {:>12} {:>12}",
+        "dataset", "SPmin", "top types %", "coverage %"
+    );
     for (name, b) in ctx.both() {
         let stream = mining_stream(&b.knowledge, b.data.train());
         let co = CoOccurrence::count(&stream, b.knowledge.window_secs);

@@ -11,7 +11,10 @@ pub fn run(ctx: &Ctx) {
     section("EXP-T7  (Table 7) — compression ratio by grouping methodology");
     paper("A: T 1.63e-2, T+R 5.15e-3, T+R+C 3.27e-3");
     paper("B: T 9.08e-3, T+R 2.26e-3, T+R+C 0.91e-3");
-    println!("  {:<8} {:>12} {:>12} {:>12}", "dataset", "T", "T+R", "T+R+C");
+    println!(
+        "  {:<8} {:>12} {:>12} {:>12}",
+        "dataset", "T", "T+R", "T+R+C"
+    );
     for (name, b) in ctx.both() {
         let table = compression_table(&b.knowledge, b.data.online());
         println!(

@@ -14,7 +14,13 @@ pub fn run(ctx: &Ctx) {
         let mut ranks: Vec<String> = report
             .best_ranks
             .iter()
-            .map(|&r| if r == usize::MAX { "-".to_owned() } else { r.to_string() })
+            .map(|&r| {
+                if r == usize::MAX {
+                    "-".to_owned()
+                } else {
+                    r.to_string()
+                }
+            })
             .collect();
         ranks.sort_by_key(|r| r.parse::<usize>().unwrap_or(usize::MAX));
         println!(

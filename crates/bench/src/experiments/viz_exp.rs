@@ -33,7 +33,10 @@ pub fn run(ctx: &Ctx) {
     let rows = snapshot(online, &report.events, from, to, |r| {
         b.knowledge.dict.routers.resolve(r.0)
     });
-    println!("  {:<14} {:>8} {:>8}  top event", "router", "events", "msgs");
+    println!(
+        "  {:<14} {:>8} {:>8}  top event",
+        "router", "events", "msgs"
+    );
     for r in rows.iter().take(10) {
         println!(
             "  {:<14} {:>8} {:>8}  {}",

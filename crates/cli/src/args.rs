@@ -36,7 +36,10 @@ impl Parsed {
         if command.starts_with("--") {
             return Err(ArgError(format!("expected subcommand, got flag {command}")));
         }
-        let mut parsed = Parsed { command, ..Default::default() };
+        let mut parsed = Parsed {
+            command,
+            ..Default::default()
+        };
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(ArgError(format!("unexpected positional argument {a:?}")));
@@ -91,8 +94,7 @@ mod tests {
 
     #[test]
     fn parses_options_and_flags() {
-        let p = Parsed::parse(v(&["digest", "--log", "x.log", "--top", "5", "--stream"]))
-            .unwrap();
+        let p = Parsed::parse(v(&["digest", "--log", "x.log", "--top", "5", "--stream"])).unwrap();
         assert_eq!(p.command, "digest");
         assert_eq!(p.req("log").unwrap(), "x.log");
         assert_eq!(p.opt_parse("top", 10usize).unwrap(), 5);

@@ -1,7 +1,7 @@
 //! Subcommand implementations for `sdigest`.
 
 use crate::args::{ArgError, Parsed};
-use sd_model::{RawMessage, Vendor};
+use sd_model::{Parallelism, RawMessage, Vendor};
 use sd_netsim::{Dataset, DatasetSpec};
 use std::collections::BTreeMap;
 use std::fs;
@@ -43,12 +43,24 @@ fn profile(name: &str) -> Result<OfflineConfig, ArgError> {
     }
 }
 
+/// `--threads N` (0 or absent = all cores; 1 = exact sequential path).
+fn threads_arg(p: &Parsed) -> Result<Parallelism, ArgError> {
+    let n: usize = p.opt_parse("threads", 0)?;
+    Ok(if n == 0 {
+        Parallelism::default()
+    } else {
+        Parallelism::with_threads(n)
+    })
+}
+
 fn stages(name: &str) -> Result<GroupingConfig, ArgError> {
     match name.to_ascii_uppercase().as_str() {
         "T" => Ok(GroupingConfig::t_only()),
         "TR" | "T+R" => Ok(GroupingConfig::t_r()),
         "TRC" | "T+R+C" => Ok(GroupingConfig::default()),
-        other => Err(ArgError(format!("unknown stages {other:?} (use T, TR, or TRC)"))),
+        other => Err(ArgError(format!(
+            "unknown stages {other:?} (use T, TR, or TRC)"
+        ))),
     }
 }
 
@@ -76,8 +88,8 @@ pub fn cmd_generate(p: &Parsed) -> CmdResult {
     let d = Dataset::generate(spec);
 
     fs::create_dir_all(out.join("configs")).map_err(|e| io_err("creating output dir", e))?;
-    let mut log = fs::File::create(out.join("syslog.log"))
-        .map_err(|e| io_err("creating syslog.log", e))?;
+    let mut log =
+        fs::File::create(out.join("syslog.log")).map_err(|e| io_err("creating syslog.log", e))?;
     for m in &d.messages {
         writeln!(log, "{}", m.to_line()).map_err(|e| io_err("writing syslog.log", e))?;
     }
@@ -96,7 +108,11 @@ pub fn cmd_generate(p: &Parsed) -> CmdResult {
         "dataset {} ({:?}): {} routers, {} messages ({} train / {} online), \
          {} ground-truth events, {} tickets -> {}",
         d.spec.name,
-        if d.spec.vendor == Vendor::V1 { "V1" } else { "V2" },
+        if d.spec.vendor == Vendor::V1 {
+            "V1"
+        } else {
+            "V2"
+        },
         d.topology.routers.len(),
         d.messages.len(),
         d.train().len(),
@@ -107,12 +123,13 @@ pub fn cmd_generate(p: &Parsed) -> CmdResult {
     ))
 }
 
-/// `sdigest learn --configs DIR --log FILE --profile A|B --out FILE`
+/// `sdigest learn --configs DIR --log FILE --profile A|B --out FILE [--threads N]`
 pub fn cmd_learn(p: &Parsed) -> CmdResult {
     let cfg_dir = Path::new(p.req("configs")?);
     let log = Path::new(p.req("log")?);
     let out = Path::new(p.req("out")?);
-    let cfg = profile(p.opt("profile").unwrap_or("A"))?;
+    let mut cfg = profile(p.opt("profile").unwrap_or("A"))?;
+    cfg.par = threads_arg(p)?;
 
     let mut configs = Vec::new();
     let mut entries: Vec<_> = fs::read_dir(cfg_dir)
@@ -146,23 +163,21 @@ pub fn cmd_learn(p: &Parsed) -> CmdResult {
     ))
 }
 
-/// `sdigest digest --knowledge FILE --log FILE [--top N] [--stages TRC] [--stream]`
+/// `sdigest digest --knowledge FILE --log FILE [--top N] [--stages TRC] [--stream] [--threads N]`
 pub fn cmd_digest(p: &Parsed) -> CmdResult {
-    let ktext = fs::read_to_string(p.req("knowledge")?)
-        .map_err(|e| io_err("reading knowledge", e))?;
+    let ktext =
+        fs::read_to_string(p.req("knowledge")?).map_err(|e| io_err("reading knowledge", e))?;
     let k = DomainKnowledge::from_json(&ktext)
         .map_err(|e| ArgError(format!("knowledge file is not valid: {e}")))?;
     let (msgs, bad) = read_log(Path::new(p.req("log")?))?;
     let top: usize = p.opt_parse("top", 20)?;
-    let gcfg = stages(p.opt("stages").unwrap_or("TRC"))?;
+    let mut gcfg = stages(p.opt("stages").unwrap_or("TRC"))?;
+    gcfg.par = threads_arg(p)?;
 
     let mut out = String::new();
     let events = if p.flag("stream") {
         let mut sd = StreamDigester::new(&k, gcfg, 0);
-        let mut events = Vec::new();
-        for m in &msgs {
-            events.extend(sd.push(m));
-        }
+        let mut events = sd.push_batch(&msgs);
         let dropped = sd.n_dropped;
         events.extend(sd.finish());
         events.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
@@ -231,8 +246,9 @@ pub fn usage() -> &'static str {
      \n\
      USAGE:\n\
        sdigest generate --out DIR [--dataset A|B] [--scale F] [--seed N]\n\
-       sdigest learn    --configs DIR --log FILE --out FILE [--profile A|B]\n\
-       sdigest digest   --knowledge FILE --log FILE [--top N] [--stages T|TR|TRC] [--stream]\n\
+       sdigest learn    --configs DIR --log FILE --out FILE [--profile A|B] [--threads N]\n\
+       sdigest digest   --knowledge FILE --log FILE [--top N] [--stages T|TR|TRC]\n\
+                        [--stream] [--threads N]\n\
        sdigest stats    --log FILE [--top N]\n"
 }
 
@@ -244,7 +260,10 @@ pub fn dispatch(p: &Parsed) -> CmdResult {
         "digest" => cmd_digest(p),
         "stats" => cmd_stats(p),
         "help" | "--help" => Ok(usage().to_owned()),
-        other => Err(ArgError(format!("unknown subcommand {other:?}\n\n{}", usage()))),
+        other => Err(ArgError(format!(
+            "unknown subcommand {other:?}\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -254,10 +273,7 @@ mod tests {
     use crate::args::Parsed;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "sdigest-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("sdigest-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -273,7 +289,13 @@ mod tests {
         let out = dir.to_str().unwrap();
 
         let msg = cmd_generate(&parse(&[
-            "generate", "--dataset", "A", "--scale", "0.08", "--out", out,
+            "generate",
+            "--dataset",
+            "A",
+            "--scale",
+            "0.08",
+            "--out",
+            out,
         ]))
         .unwrap();
         assert!(msg.contains("routers"), "{msg}");
@@ -334,8 +356,7 @@ mod tests {
 
     #[test]
     fn helpful_errors() {
-        assert!(cmd_generate(&parse(&["generate", "--dataset", "Z", "--out", "/tmp/x"]))
-            .is_err());
+        assert!(cmd_generate(&parse(&["generate", "--dataset", "Z", "--out", "/tmp/x"])).is_err());
         assert!(cmd_learn(&parse(&["learn"])).is_err());
         assert!(dispatch(&parse(&["frobnicate"])).is_err());
         assert!(dispatch(&parse(&["help"])).unwrap().contains("USAGE"));

@@ -4,14 +4,26 @@
 
 use crate::knowledge::DomainKnowledge;
 use sd_locations::extract;
-use sd_model::{RawMessage, SyslogPlus};
+use sd_model::{par_chunks, Parallelism, RawMessage, SyslogPlus};
+use sd_templates::TokenScratch;
 
 /// Augment one raw message. Returns `None` when the originating router is
 /// unknown to the location dictionary (such messages are counted and
 /// skipped by the pipeline — there is nothing to anchor them to).
 pub fn augment(k: &DomainKnowledge, idx: usize, m: &RawMessage) -> Option<SyslogPlus> {
+    augment_with(k, idx, m, &mut TokenScratch::new())
+}
+
+/// [`augment`] with a caller-provided token scratch: the template-matching
+/// hot path performs no allocation, so one scratch serves a whole batch.
+pub fn augment_with(
+    k: &DomainKnowledge,
+    idx: usize,
+    m: &RawMessage,
+    scratch: &mut TokenScratch,
+) -> Option<SyslogPlus> {
     let ex = extract(&k.dict, m)?;
-    let template = k.resolve_template(&m.code, &m.detail);
+    let template = k.resolve_template_with(&m.code, &m.detail, scratch);
     Some(SyslogPlus {
         idx,
         ts: m.ts,
@@ -24,13 +36,35 @@ pub fn augment(k: &DomainKnowledge, idx: usize, m: &RawMessage) -> Option<Syslog
 /// Augment a whole batch, dropping unknown-router messages; returns the
 /// augmented messages and the number dropped.
 pub fn augment_batch(k: &DomainKnowledge, batch: &[RawMessage]) -> (Vec<SyslogPlus>, usize) {
+    augment_batch_with(k, batch, Parallelism::sequential())
+}
+
+/// [`augment_batch`] over `par.threads` scoped threads. Augmentation is
+/// per-message pure, so chunks are processed independently (each with its
+/// own token scratch) and concatenated in input order — the output is
+/// identical for every thread count.
+pub fn augment_batch_with(
+    k: &DomainKnowledge,
+    batch: &[RawMessage],
+    par: Parallelism,
+) -> (Vec<SyslogPlus>, usize) {
+    let chunk_results = par_chunks(par, batch, |start, chunk| {
+        let mut out = Vec::with_capacity(chunk.len());
+        let mut dropped = 0usize;
+        let mut scratch = TokenScratch::new();
+        for (off, m) in chunk.iter().enumerate() {
+            match augment_with(k, start + off, m, &mut scratch) {
+                Some(sp) => out.push(sp),
+                None => dropped += 1,
+            }
+        }
+        (out, dropped)
+    });
     let mut out = Vec::with_capacity(batch.len());
     let mut dropped = 0usize;
-    for (i, m) in batch.iter().enumerate() {
-        match augment(k, i, m) {
-            Some(sp) => out.push(sp),
-            None => dropped += 1,
-        }
+    for (chunk_out, chunk_dropped) in chunk_results {
+        out.extend(chunk_out);
+        dropped += chunk_dropped;
     }
     (out, dropped)
 }
@@ -42,8 +76,8 @@ mod tests {
     use sd_locations::LocationDictionary;
     use sd_model::{ErrorCode, Interner, Timestamp};
     use sd_rules::RuleSet;
-    use sd_temporal::TemporalConfig;
     use sd_templates::{learn, LearnerConfig};
+    use sd_temporal::TemporalConfig;
 
     fn knowledge() -> DomainKnowledge {
         let train: Vec<RawMessage> = (0..30)
@@ -100,7 +134,12 @@ interface Serial1/5
         let k = knowledge();
         let batch = vec![
             RawMessage::new(Timestamp(0), "r1", ErrorCode::from("LINK-3-UPDOWN"), "x y"),
-            RawMessage::new(Timestamp(1), "ghost", ErrorCode::from("LINK-3-UPDOWN"), "x y"),
+            RawMessage::new(
+                Timestamp(1),
+                "ghost",
+                ErrorCode::from("LINK-3-UPDOWN"),
+                "x y",
+            ),
         ];
         let (out, dropped) = augment_batch(&k, &batch);
         assert_eq!(out.len(), 1);
@@ -110,7 +149,12 @@ interface Serial1/5
     #[test]
     fn unknown_code_still_augments_with_unknown_template() {
         let k = knowledge();
-        let m = RawMessage::new(Timestamp(0), "r1", ErrorCode::from("ALIEN-9-THING"), "stuff");
+        let m = RawMessage::new(
+            Timestamp(0),
+            "r1",
+            ErrorCode::from("ALIEN-9-THING"),
+            "stuff",
+        );
         let sp = augment(&k, 0, &m).unwrap();
         assert_eq!(sp.template, Some(UNKNOWN_TEMPLATE));
     }

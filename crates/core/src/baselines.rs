@@ -21,7 +21,9 @@ pub fn severity_rank(events: &mut [NetworkEvent], raw: &[RawMessage]) {
             .unwrap_or(7)
     };
     events.sort_by(|a, b| {
-        sev_of(a).cmp(&sev_of(b)).then_with(|| b.size().cmp(&a.size()))
+        sev_of(a)
+            .cmp(&sev_of(b))
+            .then_with(|| b.size().cmp(&a.size()))
     });
 }
 

@@ -34,7 +34,10 @@ impl NetworkEvent {
     /// The paper's one-line presentation:
     /// `start|end|locations|label`.
     pub fn format_line(&self) -> String {
-        format!("{}|{}|{}|{}", self.start, self.end, self.location_summary, self.label)
+        format!(
+            "{}|{}|{}|{}",
+            self.start, self.end, self.location_summary, self.label
+        )
     }
 
     /// Number of raw messages folded into this event.
@@ -180,9 +183,7 @@ pub fn label_for(signatures: &[String]) -> String {
     if has("LCDOWN") || has("LCUP") || has("cardFailure") {
         add("linecard failure", &mut labels);
     }
-    if has("LoginFailed") || has("loginFailed") || has("Login failed")
-        || has("login failed")
-    {
+    if has("LoginFailed") || has("loginFailed") || has("Login failed") || has("login failed") {
         add("login failures", &mut labels);
     }
     if has("ENVMON") || has("tempThreshold") || has("Temperature") {
@@ -215,9 +216,9 @@ mod tests {
     use crate::grouping::{group, GroupingConfig};
     use crate::offline::{learn, OfflineConfig};
     use crate::priority::score_group;
+    use sd_model::{ErrorCode, RawMessage};
     use sd_netsim::config::render_all;
     use sd_netsim::scenario::{toy_table2_messages, toy_topology};
-    use sd_model::{ErrorCode, RawMessage};
 
     fn toy_event() -> NetworkEvent {
         let topo = toy_topology();
@@ -264,19 +265,28 @@ mod tests {
         assert_eq!(ev.size(), 16);
         assert_eq!(ev.routers.len(), 2);
         assert!(
-            ev.location_summary.contains("r1 Interface Serial1/0.10/10:0"),
+            ev.location_summary
+                .contains("r1 Interface Serial1/0.10/10:0"),
             "summary: {}",
             ev.location_summary
         );
         assert!(
-            ev.location_summary.contains("r2 Interface Serial1/0.20/20:0"),
+            ev.location_summary
+                .contains("r2 Interface Serial1/0.20/20:0"),
             "summary: {}",
             ev.location_summary
         );
         assert!(ev.label.contains("link flap"), "label: {}", ev.label);
-        assert!(ev.label.contains("line protocol flap"), "label: {}", ev.label);
+        assert!(
+            ev.label.contains("line protocol flap"),
+            "label: {}",
+            ev.label
+        );
         let line = ev.format_line();
-        assert!(line.starts_with("2010-01-10 00:00:00|2010-01-10 00:00:31|"), "{line}");
+        assert!(
+            line.starts_with("2010-01-10 00:00:00|2010-01-10 00:00:31|"),
+            "{line}"
+        );
     }
 
     #[test]
@@ -288,16 +298,24 @@ mod tests {
             ]),
             "port flap"
         );
-        assert!(label_for(&["BGP-5-ADJCHANGE neighbor * vpn vrf * Up".into()])
-            .contains("bgp adjacency change"));
-        assert_eq!(label_for(&["WEIRD-1-THING something".into()]), "weird events");
+        assert!(
+            label_for(&["BGP-5-ADJCHANGE neighbor * vpn vrf * Up".into()])
+                .contains("bgp adjacency change")
+        );
+        assert_eq!(
+            label_for(&["WEIRD-1-THING something".into()]),
+            "weird events"
+        );
         assert_eq!(label_for(&[]), "unknown events");
     }
 
     #[test]
     fn extended_labels() {
         assert_eq!(
-            label_for(&["ENVMON-2-TEMPHIGH Temperature sensor on slot * reading * C exceeds threshold".into()]),
+            label_for(&[
+                "ENVMON-2-TEMPHIGH Temperature sensor on slot * reading * C exceeds threshold"
+                    .into()
+            ]),
             "environmental alarm"
         );
         assert_eq!(
@@ -309,12 +327,15 @@ mod tests {
             "authentication failures"
         );
         assert_eq!(
-            label_for(&["SVCMGR-MAJOR-svcStatusChanged Status of service * changed to operState down".into()]),
+            label_for(&[
+                "SVCMGR-MAJOR-svcStatusChanged Status of service * changed to operState down"
+                    .into()
+            ]),
             "service state change"
         );
-        assert!(
-            label_for(&["SECURITY-WARNING-ftpLoginFailed FTP login failed for user * from host *".into()])
-                .contains("login failures")
-        );
+        assert!(label_for(&[
+            "SECURITY-WARNING-ftpLoginFailed FTP login failed for user * from host *".into()
+        ])
+        .contains("login failures"));
     }
 }

@@ -3,10 +3,10 @@
 
 use crate::knowledge::DomainKnowledge;
 use crate::union_find::UnionFind;
-use sd_model::{SyslogPlus, TemplateId};
+use sd_model::{par_map, Parallelism, SyslogPlus, TemplateId};
 use sd_temporal::EwmaTracker;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Which stages to run (Table 7 compares T, T+R, T+R+C).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -20,23 +20,42 @@ pub struct GroupingConfig {
     pub cross: bool,
     /// Cross-router simultaneity window in seconds (paper: 1 s).
     pub cross_window_secs: i64,
+    /// Thread count for the router-sharded stages (the temporal and
+    /// rule-based stages are per-router and shard perfectly; the
+    /// cross-router stage is always sequential). Output is identical for
+    /// every thread count.
+    #[serde(default)]
+    pub par: Parallelism,
 }
 
 impl Default for GroupingConfig {
     fn default() -> Self {
-        GroupingConfig { temporal: true, rules: true, cross: true, cross_window_secs: 1 }
+        GroupingConfig {
+            temporal: true,
+            rules: true,
+            cross: true,
+            cross_window_secs: 1,
+            par: Parallelism::default(),
+        }
     }
 }
 
 impl GroupingConfig {
     /// Temporal stage only.
     pub fn t_only() -> Self {
-        GroupingConfig { rules: false, cross: false, ..Self::default() }
+        GroupingConfig {
+            rules: false,
+            cross: false,
+            ..Self::default()
+        }
     }
 
     /// Temporal + rule-based.
     pub fn t_r() -> Self {
-        GroupingConfig { cross: false, ..Self::default() }
+        GroupingConfig {
+            cross: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -71,15 +90,32 @@ impl GroupingResult {
     }
 }
 
-/// Group a time-sorted augmented batch.
-pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) -> GroupingResult {
-    let mut uf = UnionFind::new(batch.len());
+/// Union edges + active rules produced by the router-local stages over one
+/// router shard (or, on the sequential path, the whole batch).
+struct RouterLocalOutcome {
+    edges: Vec<(usize, usize)>,
+    active_rules: HashSet<(u32, u32)>,
+}
+
+/// Run the temporal and rule-based stages over the messages selected by
+/// `idxs` (ascending batch indices). Both stages key all state by router,
+/// so running them over one router's messages is *exactly* the sequential
+/// traversal restricted to that router — sharding by router changes
+/// nothing about the produced edge set.
+fn router_local_stages(
+    k: &DomainKnowledge,
+    batch: &[SyslogPlus],
+    cfg: &GroupingConfig,
+    idxs: impl Iterator<Item = usize> + Clone,
+) -> RouterLocalOutcome {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
     let mut active_rules: HashSet<(u32, u32)> = HashSet::new();
 
     // ---- temporal stage -------------------------------------------------
     if cfg.temporal {
         let mut trackers: HashMap<(u32, u32, u32), (EwmaTracker, usize)> = HashMap::new();
-        for (i, sp) in batch.iter().enumerate() {
+        for i in idxs.clone() {
+            let sp = &batch[i];
             let key = tkey(sp);
             match trackers.get_mut(&key) {
                 None => {
@@ -90,7 +126,7 @@ pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) ->
                 Some((tr, last)) => {
                     let new_group = tr.observe(sp.ts, &k.temporal);
                     if !new_group {
-                        uf.union(*last, i);
+                        edges.push((*last, i));
                     }
                     *last = i;
                 }
@@ -101,10 +137,11 @@ pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) ->
     // ---- rule-based stage ------------------------------------------------
     if cfg.rules {
         // Per router: a recent representative per (template, location).
-        let mut recent: HashMap<u32, HashMap<(u32, u32), (usize, sd_model::Timestamp)>> =
-            HashMap::new();
+        type Recent = HashMap<(u32, u32), (usize, sd_model::Timestamp)>;
+        let mut recent: HashMap<u32, Recent> = HashMap::new();
         let w = k.window_secs;
-        for (j, sp) in batch.iter().enumerate() {
+        for j in idxs {
+            let sp = &batch[j];
             let Some(tj) = sp.template else { continue };
             let loc_j = sp.primary_location();
             let rmap = recent.entry(sp.router.0).or_default();
@@ -119,14 +156,11 @@ pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) ->
                     continue;
                 }
                 let spatial = match loc_j {
-                    Some(a) => k
-                        .dict
-                        .spatially_match(a, sd_model::LocationId(loc2)),
+                    Some(a) => k.dict.spatially_match(a, sd_model::LocationId(loc2)),
                     None => false,
                 };
-                if spatial && uf.union(i2, j) {
-                    active_rules.insert((tj.0.min(t2), tj.0.max(t2)));
-                } else if spatial {
+                if spatial {
+                    edges.push((i2, j));
                     active_rules.insert((tj.0.min(t2), tj.0.max(t2)));
                 }
             }
@@ -141,7 +175,42 @@ pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) ->
         }
     }
 
-    // ---- cross-router stage ----------------------------------------------
+    RouterLocalOutcome {
+        edges,
+        active_rules,
+    }
+}
+
+/// Group a time-sorted augmented batch. The result is identical for every
+/// `cfg.par.threads` value: the parallel path shards the router-local
+/// stages by router, and union-find partitions do not depend on the order
+/// edges are applied.
+pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) -> GroupingResult {
+    let mut uf = UnionFind::new(batch.len());
+    let mut active_rules: HashSet<(u32, u32)> = HashSet::new();
+
+    // ---- router-local stages (temporal + rules), sharded by router -------
+    let outcomes: Vec<RouterLocalOutcome> = if cfg.par.is_sequential() {
+        vec![router_local_stages(k, batch, cfg, 0..batch.len())]
+    } else {
+        // Shard batch indices by router, routers in ascending id order.
+        let mut shards: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, sp) in batch.iter().enumerate() {
+            shards.entry(sp.router.0).or_default().push(i);
+        }
+        let shards: Vec<Vec<usize>> = shards.into_values().collect();
+        par_map(cfg.par, &shards, |_, shard| {
+            router_local_stages(k, batch, cfg, shard.iter().copied())
+        })
+    };
+    for outcome in outcomes {
+        for (a, b) in outcome.edges {
+            uf.union(a, b);
+        }
+        active_rules.extend(outcome.active_rules);
+    }
+
+    // ---- cross-router stage (sequential: state spans routers) ------------
     if cfg.cross {
         let cw = cfg.cross_window_secs;
         let mut recent: HashMap<u32, VecDeque<(usize, sd_model::Timestamp)>> = HashMap::new();
@@ -172,7 +241,11 @@ pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) ->
     }
 
     let (group_of, n_groups) = uf.groups();
-    GroupingResult { group_of, n_groups, active_rules }
+    GroupingResult {
+        group_of,
+        n_groups,
+        active_rules,
+    }
 }
 
 fn tkey(sp: &SyslogPlus) -> (u32, u32, u32) {
@@ -208,8 +281,8 @@ mod tests {
     use crate::augment::augment_batch;
     use crate::offline::{learn, OfflineConfig};
     use sd_model::{ErrorCode, RawMessage, Timestamp};
-    use sd_netsim::scenario::{toy_table2_messages, toy_topology};
     use sd_netsim::config::render_all;
+    use sd_netsim::scenario::{toy_table2_messages, toy_topology};
 
     /// Training data that teaches the four Table 2 templates with masked
     /// interfaces: the toy flaps replayed over many synthetic interfaces.
@@ -293,7 +366,12 @@ mod tests {
         let g = Grammar::for_vendor(sd_model::Vendor::V1);
         let mk = |ts, r: &str, iface: &str, key: &str| {
             let t = g.get(key);
-            RawMessage::new(Timestamp(ts), r, t.code.clone(), t.render(|_| iface.to_owned()))
+            RawMessage::new(
+                Timestamp(ts),
+                r,
+                t.code.clone(),
+                t.render(|_| iface.to_owned()),
+            )
         };
         let raw = vec![
             mk(0, "r1", "Serial1/0.10/10:0", "LINK_DOWN"),

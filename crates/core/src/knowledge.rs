@@ -7,8 +7,8 @@
 use sd_locations::LocationDictionary;
 use sd_model::{ErrorCode, Interner, RouterId, TemplateId};
 use sd_rules::RuleSet;
+use sd_templates::{TemplateSet, TokenScratch};
 use sd_temporal::TemporalConfig;
-use sd_templates::TemplateSet;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -88,8 +88,18 @@ impl DomainKnowledge {
     /// per-code fallback if the code was seen in training, otherwise
     /// [`UNKNOWN_TEMPLATE`].
     pub fn resolve_template(&self, code: &ErrorCode, detail: &str) -> TemplateId {
-        let toks: Vec<&str> = detail.split_whitespace().collect();
-        if let Some(t) = self.templates.match_detail(code, &toks) {
+        self.resolve_template_with(code, detail, &mut TokenScratch::new())
+    }
+
+    /// [`DomainKnowledge::resolve_template`] with a caller-provided token
+    /// scratch, so batch loops resolve every message allocation-free.
+    pub fn resolve_template_with(
+        &self,
+        code: &ErrorCode,
+        detail: &str,
+        scratch: &mut TokenScratch,
+    ) -> TemplateId {
+        if let Some(t) = self.templates.match_with(code, detail, scratch) {
             return t;
         }
         match self.fallback_codes.get(code.as_str()) {

@@ -48,15 +48,15 @@ pub mod stream;
 pub mod union_find;
 pub mod viz;
 
-pub use augment::{augment, augment_batch};
+pub use augment::{augment, augment_batch, augment_batch_with, augment_with};
 pub use event::{build_event, label_for, NetworkEvent};
 pub use grouping::{group, GroupingConfig, GroupingResult};
 pub use knowledge::{DomainKnowledge, UNKNOWN_TEMPLATE};
 pub use metrics::{
-    compression_table, evaluate_grouping, gt_quality, per_day_series, per_router_counts,
-    DayStats, GtQuality,
+    compression_table, evaluate_grouping, gt_quality, per_day_series, per_router_counts, DayStats,
+    GtQuality,
 };
-pub use offline::{learn, mining_stream, OfflineConfig};
+pub use offline::{learn, mining_stream, temporal_series, temporal_series_par, OfflineConfig};
 pub use pipeline::{digest, Digest};
 pub use priority::score_group;
 pub use stream::StreamDigester;

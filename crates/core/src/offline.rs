@@ -3,15 +3,15 @@
 //! location parsing of the historical data → temporal mining → rule
 //! mining, producing a [`DomainKnowledge`] base.
 
-use crate::augment::augment;
+use crate::augment::{augment, augment_with};
 use crate::knowledge::DomainKnowledge;
 use sd_locations::LocationDictionary;
-use sd_model::{Interner, RawMessage};
+use sd_model::{par_chunks, Interner, Parallelism, RawMessage, Timestamp};
 use sd_rules::{mine, CoOccurrence, MineConfig, StreamItem};
-use sd_temporal::{calibrate, SeriesSet, TemporalConfig};
-use sd_templates::{learn as learn_templates, LearnerConfig};
+use sd_templates::{learn_par as learn_templates_par, LearnerConfig, TokenScratch};
+use sd_temporal::{calibrate_par, SeriesSet, TemporalConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Offline learning configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,6 +31,12 @@ pub struct OfflineConfig {
     /// Skip the α/β sweeps and use `fixed_temporal` instead (the online
     /// experiments re-learn weekly and don't want to pay for sweeps).
     pub fixed_temporal: Option<TemporalConfig>,
+    /// Worker threads for the offline passes (template learning, history
+    /// augmentation, calibration sweeps, transaction counting). `threads
+    /// == 1` takes the exact sequential code path; every thread count
+    /// learns identical knowledge.
+    #[serde(default)]
+    pub par: Parallelism,
 }
 
 impl OfflineConfig {
@@ -44,6 +50,7 @@ impl OfflineConfig {
             betas: vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
             knee: 0.03,
             fixed_temporal: Some(TemporalConfig::dataset_a()),
+            par: Parallelism::default(),
         }
     }
 
@@ -66,13 +73,9 @@ impl OfflineConfig {
 }
 
 /// Run offline learning over router configs and historical messages.
-pub fn learn(
-    configs: &[String],
-    train: &[RawMessage],
-    cfg: &OfflineConfig,
-) -> DomainKnowledge {
-    // 1. Signature identification.
-    let templates = learn_templates(train, &cfg.learner);
+pub fn learn(configs: &[String], train: &[RawMessage], cfg: &OfflineConfig) -> DomainKnowledge {
+    // 1. Signature identification (parallel over per-code buckets).
+    let templates = learn_templates_par(train, &cfg.learner, cfg.par);
 
     // 2. Per-code fallbacks for online messages that match nothing.
     let mut fallback = Interner::new();
@@ -94,31 +97,21 @@ pub fn learn(
         HashMap::new(),
     );
 
-    // 4. Augment history once; build the mining stream, the temporal
-    //    series and the frequency table from it.
-    let mut stream: Vec<StreamItem> = Vec::with_capacity(train.len());
-    let mut series: HashMap<(u32, u32, u32), Vec<sd_model::Timestamp>> = HashMap::new();
-    let mut freq: HashMap<(u32, u32), u64> = HashMap::new();
-    for (i, m) in train.iter().enumerate() {
-        let Some(sp) = augment(&k, i, m) else { continue };
-        let t = sp.template.expect("offline augmentation always assigns");
-        stream.push((sp.ts, sp.router, t));
-        *freq.entry((sp.router.0, t.0)).or_insert(0) += 1;
-        let loc = sp.primary_location().map(|l| l.0).unwrap_or(u32::MAX);
-        series.entry((sp.router.0, t.0, loc)).or_default().push(sp.ts);
-    }
+    // 4. Augment history once (parallel over contiguous chunks); build the
+    //    mining stream, the temporal series and the frequency table.
+    let (stream, series, freq) = history_pass(&k, train, cfg.par);
 
     // 5. Temporal mining (Figures 10–11) unless fixed.
     let temporal = match cfg.fixed_temporal {
         Some(t) => t,
         None => {
             let set: SeriesSet = series.into_values().collect();
-            calibrate(&set, &cfg.alphas, &cfg.betas, cfg.knee)
+            calibrate_par(&set, &cfg.alphas, &cfg.betas, cfg.knee, cfg.par)
         }
     };
 
-    // 6. Rule mining.
-    let co = CoOccurrence::count(&stream, cfg.window_secs);
+    // 6. Rule mining (transaction counting parallel per router).
+    let co = CoOccurrence::count_par(&stream, cfg.window_secs, cfg.par);
     let rules = mine(&co, &cfg.mine);
 
     k.temporal = temporal;
@@ -126,7 +119,69 @@ pub fn learn(
     let templates = k.templates.clone();
     let fallback = k.fallback_codes.clone();
     let dict = k.dict.clone();
-    DomainKnowledge::new(templates, fallback, dict, temporal, k.rules, cfg.window_secs, freq)
+    DomainKnowledge::new(
+        templates,
+        fallback,
+        dict,
+        temporal,
+        k.rules,
+        cfg.window_secs,
+        freq,
+    )
+}
+
+/// One augmented pass over time-sorted history: the mining stream, the
+/// per-`(router, template, location)` timestamp series, and the
+/// `(router, template)` frequency table.
+///
+/// Chunks are augmented independently (each with its own token scratch)
+/// and merged in input order; the series map is a `BTreeMap` so that the
+/// [`SeriesSet`] handed to calibration has a deterministic order (its
+/// f64 ratio sums are order-sensitive). The result is identical for every
+/// thread count.
+#[allow(clippy::type_complexity)]
+fn history_pass(
+    k: &DomainKnowledge,
+    msgs: &[RawMessage],
+    par: Parallelism,
+) -> (
+    Vec<StreamItem>,
+    BTreeMap<(u32, u32, u32), Vec<Timestamp>>,
+    HashMap<(u32, u32), u64>,
+) {
+    let chunks = par_chunks(par, msgs, |start, chunk| {
+        let mut stream: Vec<StreamItem> = Vec::with_capacity(chunk.len());
+        let mut series: BTreeMap<(u32, u32, u32), Vec<Timestamp>> = BTreeMap::new();
+        let mut freq: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut scratch = TokenScratch::new();
+        for (off, m) in chunk.iter().enumerate() {
+            let Some(sp) = augment_with(k, start + off, m, &mut scratch) else {
+                continue;
+            };
+            let t = sp.template.expect("offline augmentation always assigns");
+            stream.push((sp.ts, sp.router, t));
+            *freq.entry((sp.router.0, t.0)).or_insert(0) += 1;
+            let loc = sp.primary_location().map(|l| l.0).unwrap_or(u32::MAX);
+            series
+                .entry((sp.router.0, t.0, loc))
+                .or_default()
+                .push(sp.ts);
+        }
+        (stream, series, freq)
+    });
+    let mut stream: Vec<StreamItem> = Vec::with_capacity(msgs.len());
+    let mut series: BTreeMap<(u32, u32, u32), Vec<Timestamp>> = BTreeMap::new();
+    let mut freq: HashMap<(u32, u32), u64> = HashMap::new();
+    for (cs, cser, cf) in chunks {
+        stream.extend(cs);
+        for (key, ts) in cser {
+            series.entry(key).or_default().extend(ts);
+        }
+        for (key, n) in cf {
+            *freq.entry(key).or_insert(0) += n;
+        }
+    }
+    (stream, series, freq)
 }
 
 /// Build the `(ts, router, template)` mining stream from already-augmented
@@ -165,17 +220,19 @@ pub fn refresh_weekly(
 }
 
 /// Build the per-`(router, template, location)` timestamp series the
-/// temporal calibration sweeps over (Figures 10–11).
+/// temporal calibration sweeps over (Figures 10–11). Key-ordered, so the
+/// returned [`SeriesSet`] is deterministic.
 pub fn temporal_series(k: &DomainKnowledge, msgs: &[RawMessage]) -> SeriesSet {
-    let mut series: HashMap<(u32, u32, u32), Vec<sd_model::Timestamp>> = HashMap::new();
-    for (i, m) in msgs.iter().enumerate() {
-        if let Some(sp) = augment(k, i, m) {
-            let t = sp.template.expect("assigned");
-            let loc = sp.primary_location().map(|l| l.0).unwrap_or(u32::MAX);
-            series.entry((sp.router.0, t.0, loc)).or_default().push(sp.ts);
-        }
-    }
-    series.into_values().collect()
+    temporal_series_par(k, msgs, Parallelism::sequential())
+}
+
+/// [`temporal_series`] with augmentation parallel over chunks.
+pub fn temporal_series_par(
+    k: &DomainKnowledge,
+    msgs: &[RawMessage],
+    par: Parallelism,
+) -> SeriesSet {
+    history_pass(k, msgs, par).1.into_values().collect()
 }
 
 #[cfg(test)]
@@ -204,7 +261,10 @@ mod tests {
             }
         }
         let (link, proto) = (link.expect("link template"), proto.expect("proto template"));
-        assert!(k.rules.related(link, proto), "LINK<->LINEPROTO rule missing");
+        assert!(
+            k.rules.related(link, proto),
+            "LINK<->LINEPROTO rule missing"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The online SyslogDigest pipeline (right half of Figure 1): augment →
 //! group (temporal, rule-based, cross-router) → prioritize → present.
 
-use crate::augment::augment_batch;
+use crate::augment::augment_batch_with;
 use crate::event::{build_event, NetworkEvent};
 use crate::grouping::{group, GroupingConfig, GroupingResult};
 use crate::knowledge::DomainKnowledge;
@@ -47,8 +47,10 @@ impl Digest {
 }
 
 /// Run the full online pipeline over time-sorted raw messages.
+/// `cfg.par` parallelizes augmentation and the router-local grouping
+/// stages; the digest is identical for every thread count.
 pub fn digest(k: &DomainKnowledge, raw: &[RawMessage], cfg: &GroupingConfig) -> Digest {
-    let (batch, n_dropped) = augment_batch(k, raw);
+    let (batch, n_dropped) = augment_batch_with(k, raw, cfg.par);
     let grouping = group(k, &batch, cfg);
     let members = grouping.members();
     let mut events: Vec<NetworkEvent> = members
@@ -59,7 +61,12 @@ pub fn digest(k: &DomainKnowledge, raw: &[RawMessage], cfg: &GroupingConfig) -> 
         })
         .collect();
     events.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
-    Digest { events, grouping, n_input: raw.len(), n_dropped }
+    Digest {
+        events,
+        grouping,
+        n_input: raw.len(),
+        n_dropped,
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +131,9 @@ mod tests {
         let biggest = members.iter().max_by_key(|m| m.len()).unwrap();
         let whole = score_group(&k, &batch, biggest);
         let parts: f64 = biggest.iter().map(|&i| score_group(&k, &batch, &[i])).sum();
-        assert!((whole - parts).abs() < 1e-6 * whole.max(1.0), "{whole} vs {parts}");
+        assert!(
+            (whole - parts).abs() < 1e-6 * whole.max(1.0),
+            "{whole} vs {parts}"
+        );
     }
 }

@@ -53,8 +53,8 @@ mod tests {
     use sd_locations::LocationDictionary;
     use sd_model::{Interner, LocationId, RouterId, SyslogPlus, TemplateId, Timestamp};
     use sd_rules::RuleSet;
-    use sd_temporal::TemporalConfig;
     use sd_templates::TemplateSet;
+    use sd_temporal::TemporalConfig;
     use std::collections::HashMap;
 
     fn knowledge(freqs: &[((u32, u32), u64)]) -> DomainKnowledge {

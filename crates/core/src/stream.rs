@@ -15,13 +15,19 @@
 //! **identical** to the batch partition of the same input (a property the
 //! integration tests assert).
 
+use crate::augment::augment_with;
 use crate::event::{build_event, NetworkEvent};
 use crate::grouping::GroupingConfig;
 use crate::knowledge::DomainKnowledge;
 use crate::priority::score_group;
-use sd_model::{LocationId, RawMessage, SyslogPlus, TemplateId, Timestamp};
+use sd_model::{par_chunks, LocationId, RawMessage, SyslogPlus, TemplateId, Timestamp};
+use sd_templates::TokenScratch;
 use sd_temporal::EwmaTracker;
 use std::collections::{HashMap, VecDeque};
+
+/// Per router: the recent representative per `(template, location)` the
+/// rule-based stage looks back at.
+type RecentRules = HashMap<u32, HashMap<(u32, u32), (u64, Timestamp)>>;
 
 /// One open (not yet emitted) group.
 #[derive(Debug, Default)]
@@ -51,7 +57,7 @@ pub struct StreamDigester<'k> {
 
     // Stage state (mirrors `grouping::group`).
     trackers: HashMap<(u32, u32, u32), (EwmaTracker, u64)>,
-    recent_rules: HashMap<u32, HashMap<(u32, u32), (u64, Timestamp)>>,
+    recent_rules: RecentRules,
     recent_cross: HashMap<u32, VecDeque<(u64, Timestamp)>>,
 
     /// Messages dropped (unknown router).
@@ -67,7 +73,11 @@ impl<'k> StreamDigester<'k> {
     /// `max(Smax, W, cross window)` so closure can never split a group the
     /// batch pipeline would have joined.
     pub fn new(k: &'k DomainKnowledge, cfg: GroupingConfig, idle_close: i64) -> Self {
-        let floor = k.temporal.s_max.max(k.window_secs).max(cfg.cross_window_secs);
+        let floor = k
+            .temporal
+            .s_max
+            .max(k.window_secs)
+            .max(cfg.cross_window_secs);
         StreamDigester {
             k,
             cfg,
@@ -133,16 +143,53 @@ impl<'k> StreamDigester<'k> {
     /// Feed one message (must be non-decreasing in time); returns any
     /// events that became closable.
     pub fn push(&mut self, m: &RawMessage) -> Vec<NetworkEvent> {
+        let sp = crate::augment::augment(self.k, self.next_seq as usize, m);
+        self.push_augmented(m, sp)
+    }
+
+    /// Feed a slice of messages, augmenting them on `cfg.par` threads
+    /// before the (inherently sequential) incremental grouping stages.
+    /// Emits exactly what the equivalent sequence of [`push`] calls would:
+    /// augmentation is per-message pure, so only the stages that carry
+    /// state stay on the calling thread.
+    ///
+    /// [`push`]: StreamDigester::push
+    pub fn push_batch(&mut self, msgs: &[RawMessage]) -> Vec<NetworkEvent> {
+        let k = self.k;
+        // Placeholder idx 0 here; the real sequence number is assigned in
+        // `push_augmented` (exactly as `push` would have).
+        let augmented = par_chunks(self.cfg.par, msgs, |_, chunk| {
+            let mut scratch = TokenScratch::new();
+            chunk
+                .iter()
+                .map(|m| augment_with(k, 0, m, &mut scratch))
+                .collect::<Vec<Option<SyslogPlus>>>()
+        });
+        let mut events = Vec::new();
+        for (m, sp) in msgs.iter().zip(augmented.into_iter().flatten()) {
+            events.extend(self.push_augmented(m, sp));
+        }
+        events
+    }
+
+    fn push_augmented(&mut self, m: &RawMessage, sp: Option<SyslogPlus>) -> Vec<NetworkEvent> {
         self.n_input += 1;
         self.clock = self.clock.max(m.ts);
         let seq = self.next_seq;
-        let Some(sp) = crate::augment::augment(self.k, seq as usize, m) else {
+        let Some(mut sp) = sp else {
             self.n_dropped += 1;
             return self.maybe_sweep();
         };
+        sp.idx = seq as usize;
         self.next_seq += 1;
         self.parent.insert(seq, seq);
-        self.groups.insert(seq, OpenGroup { members: vec![seq], last_ts: sp.ts });
+        self.groups.insert(
+            seq,
+            OpenGroup {
+                members: vec![seq],
+                last_ts: sp.ts,
+            },
+        );
 
         // --- temporal stage ---
         if self.cfg.temporal {
@@ -183,9 +230,8 @@ impl<'k> StreamDigester<'k> {
                         if !self.k.rules.related(tj, TemplateId(t2)) {
                             continue;
                         }
-                        let spatial = loc_j.is_some_and(|a| {
-                            self.k.dict.spatially_match(a, LocationId(loc2))
-                        });
+                        let spatial =
+                            loc_j.is_some_and(|a| self.k.dict.spatially_match(a, LocationId(loc2)));
                         if spatial {
                             hits.push(i2);
                         }
@@ -223,7 +269,9 @@ impl<'k> StreamDigester<'k> {
                     q.iter().map(|&(i, _)| i).collect()
                 };
                 for i2 in unions {
-                    let Some(other) = self.open.get(&i2) else { continue };
+                    let Some(other) = self.open.get(&i2) else {
+                        continue;
+                    };
                     if other.router != sp.router && cross_related(self.k, &sp, other) {
                         self.union(i2, seq);
                     }
@@ -278,7 +326,7 @@ impl<'k> StreamDigester<'k> {
             let score = score_group(self.k, &batch, &idxs);
             events.push(build_event(self.k, &batch, &idxs, score));
         }
-        events.sort_by(|a, b| a.start.cmp(&b.start));
+        events.sort_by_key(|a| a.start);
         events
     }
 
@@ -389,6 +437,36 @@ mod tests {
         let sd = StreamDigester::new(&k, GroupingConfig::default(), 1);
         assert!(sd.idle_close_secs() >= k.temporal.s_max);
         assert!(sd.idle_close_secs() >= k.window_secs);
+    }
+
+    /// `push_batch` (parallel augmentation) emits exactly what the same
+    /// messages pushed one at a time do.
+    #[test]
+    fn push_batch_matches_push_loop() {
+        let (d, k) = setup();
+        let online = d.online();
+
+        let mut one = StreamDigester::new(&k, GroupingConfig::default(), 0);
+        let mut e1 = Vec::new();
+        for m in online {
+            e1.extend(one.push(m));
+        }
+        e1.extend(one.finish());
+
+        let cfg = GroupingConfig {
+            par: sd_model::Parallelism::with_threads(4),
+            ..GroupingConfig::default()
+        };
+        let mut batched = StreamDigester::new(&k, cfg, 0);
+        let mut e2 = batched.push_batch(online);
+        e2.extend(batched.finish());
+
+        let norm = |evs: &[NetworkEvent]| {
+            let mut v: Vec<Vec<usize>> = evs.iter().map(|e| e.message_idxs.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&e1), norm(&e2));
     }
 
     #[test]

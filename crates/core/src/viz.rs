@@ -38,13 +38,15 @@ pub fn snapshot<'a>(
     let mut rows: HashMap<String, RouterSnapshot> = HashMap::new();
     for m in raw {
         if m.ts >= from && m.ts < to {
-            let e = rows.entry(m.router.clone()).or_insert_with(|| RouterSnapshot {
-                router: m.router.clone(),
-                n_messages: 0,
-                n_events: 0,
-                top_score: 0.0,
-                top_label: String::new(),
-            });
+            let e = rows
+                .entry(m.router.clone())
+                .or_insert_with(|| RouterSnapshot {
+                    router: m.router.clone(),
+                    n_messages: 0,
+                    n_events: 0,
+                    top_score: 0.0,
+                    top_label: String::new(),
+                });
             e.n_messages += 1;
         }
     }
@@ -68,7 +70,11 @@ pub fn snapshot<'a>(
         }
     }
     let mut out: Vec<RouterSnapshot> = rows.into_values().collect();
-    out.sort_by(|a, b| b.n_messages.cmp(&a.n_messages).then(a.router.cmp(&b.router)));
+    out.sort_by(|a, b| {
+        b.n_messages
+            .cmp(&a.n_messages)
+            .then(a.router.cmp(&b.router))
+    });
     out
 }
 
@@ -86,8 +92,11 @@ pub fn gini(counts: &[usize]) -> f64 {
     if sum == 0.0 {
         return 0.0;
     }
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
     (2.0 * weighted) / (n * sum) - (n + 1.0) / n
 }
 

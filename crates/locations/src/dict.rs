@@ -95,9 +95,13 @@ impl LocationDictionary {
 
             for c in &cfg.controllers {
                 // `T3 <slot>/<port>/<chan>`
-                let Some(tail) = c.strip_prefix("T3 ") else { continue };
+                let Some(tail) = c.strip_prefix("T3 ") else {
+                    continue;
+                };
                 let mut it = tail.split('/');
-                let (Some(s), Some(p)) = (it.next(), it.next()) else { continue };
+                let (Some(s), Some(p)) = (it.next(), it.next()) else {
+                    continue;
+                };
                 let (Ok(slot), Ok(port)) = (s.parse::<u8>(), p.parse::<u8>()) else {
                     continue;
                 };
@@ -121,8 +125,16 @@ impl LocationDictionary {
                         continue;
                     }
                     let loc = match shape {
-                        IfaceStruct::V1Serial { slot, port, logical }
-                        | IfaceStruct::V1Ethernet { slot, port, logical } => {
+                        IfaceStruct::V1Serial {
+                            slot,
+                            port,
+                            logical,
+                        }
+                        | IfaceStruct::V1Ethernet {
+                            slot,
+                            port,
+                            logical,
+                        } => {
                             let slot_loc = d.slot_node(rid, rloc, slot);
                             let port_loc = d.port_node(rid, slot_loc, slot, port);
                             if logical {
@@ -215,10 +227,7 @@ impl LocationDictionary {
 
             for (name, routers) in &cfg.lsps {
                 let ploc = d.add(rid, LocationLevel::Path, name.clone(), Some(rloc));
-                let members: Vec<u32> = routers
-                    .iter()
-                    .map(|r| d.routers.intern(r))
-                    .collect();
+                let members: Vec<u32> = routers.iter().map(|r| d.routers.intern(r)).collect();
                 // Note: intern may mint ids for routers whose configs come
                 // later; router_loc/states grow in their own pass, so only
                 // reference members by RouterId here.
@@ -228,9 +237,10 @@ impl LocationDictionary {
 
         // Pass 2: resolve links (requires every router's by_name).
         for (loc, pr, pi) in pending_links {
-            let Some(prid) = d.routers.get(&pr) else { continue };
-            let Some(&peer_loc) = d.by_name.get(prid as usize).and_then(|m| m.get(&pi))
-            else {
+            let Some(prid) = d.routers.get(&pr) else {
+                continue;
+            };
+            let Some(&peer_loc) = d.by_name.get(prid as usize).and_then(|m| m.get(&pi)) else {
                 continue;
             };
             if loc < peer_loc {
@@ -252,15 +262,13 @@ impl LocationDictionary {
         d
     }
 
-    fn add(
-        &mut self,
-        router: u32,
-        level: LocationLevel,
-        name: String,
-        parent: Option<u32>,
-    ) -> u32 {
+    fn add(&mut self, router: u32, level: LocationLevel, name: String, parent: Option<u32>) -> u32 {
         let id = self.infos.len() as u32;
-        self.infos.push(LocationInfo { router: RouterId(router), level, name });
+        self.infos.push(LocationInfo {
+            router: RouterId(router),
+            level,
+            name,
+        });
         self.parent.push(parent);
         while self.by_name.len() <= router as usize {
             self.by_name.push(HashMap::new());
@@ -376,7 +384,11 @@ impl LocationDictionary {
 
     /// Look up a location by `(router, name)`.
     pub fn by_name(&self, r: RouterId, name: &str) -> Option<LocationId> {
-        self.by_name.get(r.0 as usize)?.get(name).copied().map(LocationId)
+        self.by_name
+            .get(r.0 as usize)?
+            .get(name)
+            .copied()
+            .map(LocationId)
     }
 
     /// Look up a slot node.
@@ -401,7 +413,10 @@ impl LocationDictionary {
 
     /// Routers along a path location.
     pub fn path_routers(&self, loc: LocationId) -> Option<&[u32]> {
-        self.path_members.iter().find(|(p, _)| *p == loc.0).map(|(_, m)| m.as_slice())
+        self.path_members
+            .iter()
+            .find(|(p, _)| *p == loc.0)
+            .map(|(_, m)| m.as_slice())
     }
 
     /// BGP sessions as `(local router, neighbor address, vrf)`.
@@ -545,8 +560,7 @@ interface Serial1/0.20/20:0
         let r1 = d.router_id("r1").unwrap();
         let sub = d.by_name(r1, "Serial1/0.10/10:0").unwrap();
         assert_eq!(d.info(sub).level, LocationLevel::LogInterface);
-        let chain: Vec<LocationLevel> =
-            d.ancestors(sub).iter().map(|l| d.info(*l).level).collect();
+        let chain: Vec<LocationLevel> = d.ancestors(sub).iter().map(|l| d.info(*l).level).collect();
         assert_eq!(
             chain,
             vec![
@@ -586,7 +600,10 @@ interface Serial1/0.20/20:0
         let sub = d.by_name(r1, "Serial1/0.10/10:0").unwrap();
         assert_eq!(d.info(bundle).level, LocationLevel::Bundle);
         assert!(d.spatially_match(bundle, phys));
-        assert!(d.spatially_match(sub, bundle), "bundle contains member's children");
+        assert!(
+            d.spatially_match(sub, bundle),
+            "bundle contains member's children"
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ pub fn extract(dict: &LocationDictionary, m: &RawMessage) -> Option<Extracted> {
         locals.push(dict.router_location(rid));
     }
     locals.extend(remotes);
-    Some(Extracted { router: rid, locations: locals })
+    Some(Extracted {
+        router: rid,
+        locations: locals,
+    })
 }
 
 /// Trim message punctuation that glues to location tokens.
@@ -151,8 +154,11 @@ interface Serial1/0.20/20:0
     #[test]
     fn interface_with_punctuation_is_found() {
         let d = dict();
-        let e = extract(&d, &msg("r1", "Interface Serial1/0.10/10:0, changed state to down"))
-            .unwrap();
+        let e = extract(
+            &d,
+            &msg("r1", "Interface Serial1/0.10/10:0, changed state to down"),
+        )
+        .unwrap();
         let r1 = d.router_id("r1").unwrap();
         assert_eq!(e.locations[0], d.by_name(r1, "Serial1/0.10/10:0").unwrap());
     }
@@ -179,7 +185,10 @@ interface Serial1/0.20/20:0
         let d = dict();
         let e = extract(
             &d,
-            &msg("r1", "Nbr 10.255.0.2 on Serial1/0.10/10:0 from FULL to DOWN"),
+            &msg(
+                "r1",
+                "Nbr 10.255.0.2 on Serial1/0.10/10:0 from FULL to DOWN",
+            ),
         )
         .unwrap();
         let r1 = d.router_id("r1").unwrap();
@@ -191,8 +200,14 @@ interface Serial1/0.20/20:0
     #[test]
     fn unverifiable_ips_are_dropped() {
         let d = dict();
-        let e = extract(&d, &msg("r1", "Invalid MD5 digest from 172.16.9.9:1234 to 10.255.0.1:179"))
-            .unwrap();
+        let e = extract(
+            &d,
+            &msg(
+                "r1",
+                "Invalid MD5 digest from 172.16.9.9:1234 to 10.255.0.1:179",
+            ),
+        )
+        .unwrap();
         let r1 = d.router_id("r1").unwrap();
         // Scanner address ignored; local loopback verified.
         assert_eq!(e.locations, vec![d.by_name(r1, "Loopback0").unwrap()]);
@@ -201,8 +216,14 @@ interface Serial1/0.20/20:0
     #[test]
     fn router_fallback_when_nothing_matches() {
         let d = dict();
-        let e = extract(&d, &msg("r1", "Configured from console by jsmith on vty0 (192.168.1.1)"))
-            .unwrap();
+        let e = extract(
+            &d,
+            &msg(
+                "r1",
+                "Configured from console by jsmith on vty0 (192.168.1.1)",
+            ),
+        )
+        .unwrap();
         let r1 = d.router_id("r1").unwrap();
         assert_eq!(e.locations, vec![d.router_location(r1)]);
     }
@@ -210,14 +231,24 @@ interface Serial1/0.20/20:0
     #[test]
     fn unknown_router_returns_none() {
         let d = dict();
-        assert!(extract(&d, &msg("ghost", "Interface Serial1/0, changed state to down")).is_none());
+        assert!(extract(
+            &d,
+            &msg("ghost", "Interface Serial1/0, changed state to down")
+        )
+        .is_none());
     }
 
     #[test]
     fn lsp_names_resolve_globally() {
         let d = dict();
-        let e = extract(&d, &msg("r2", "FRR protection switch for LSP LSP-r1-r2-sec to secondary path"))
-            .unwrap();
+        let e = extract(
+            &d,
+            &msg(
+                "r2",
+                "FRR protection switch for LSP LSP-r1-r2-sec to secondary path",
+            ),
+        )
+        .unwrap();
         let p = d.path("LSP-r1-r2-sec").unwrap();
         assert!(e.locations.contains(&p));
     }

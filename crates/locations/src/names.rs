@@ -48,13 +48,21 @@ pub enum IfaceStruct {
 pub fn parse_iface_name(name: &str) -> IfaceStruct {
     if let Some(rest) = name.strip_prefix("Serial") {
         if let Some((slot, port, logical)) = slot_port(rest) {
-            return IfaceStruct::V1Serial { slot, port, logical };
+            return IfaceStruct::V1Serial {
+                slot,
+                port,
+                logical,
+            };
         }
         return IfaceStruct::Other;
     }
     if let Some(rest) = name.strip_prefix("GigabitEthernet") {
         if let Some((slot, port, logical)) = slot_port(rest) {
-            return IfaceStruct::V1Ethernet { slot, port, logical };
+            return IfaceStruct::V1Ethernet {
+                slot,
+                port,
+                logical,
+            };
         }
         return IfaceStruct::Other;
     }
@@ -67,9 +75,11 @@ pub fn parse_iface_name(name: &str) -> IfaceStruct {
     // V2 `s/p/c`: exactly three small integers.
     let parts: Vec<&str> = name.split('/').collect();
     if parts.len() == 3 {
-        if let (Ok(slot), Ok(port), Ok(_chan)) =
-            (parts[0].parse::<u8>(), parts[1].parse::<u8>(), parts[2].parse::<u16>())
-        {
+        if let (Ok(slot), Ok(port), Ok(_chan)) = (
+            parts[0].parse::<u8>(),
+            parts[1].parse::<u8>(),
+            parts[2].parse::<u16>(),
+        ) {
             return IfaceStruct::V2Port { slot, port };
         }
     }
@@ -108,11 +118,19 @@ mod tests {
     fn serial_names_decode() {
         assert_eq!(
             parse_iface_name("Serial1/0.10/10:0"),
-            IfaceStruct::V1Serial { slot: 1, port: 0, logical: true }
+            IfaceStruct::V1Serial {
+                slot: 1,
+                port: 0,
+                logical: true
+            }
         );
         assert_eq!(
             parse_iface_name("Serial13/2"),
-            IfaceStruct::V1Serial { slot: 13, port: 2, logical: false }
+            IfaceStruct::V1Serial {
+                slot: 13,
+                port: 2,
+                logical: false
+            }
         );
         assert_eq!(parse_iface_name("Serialx/y"), IfaceStruct::Other);
     }
@@ -121,17 +139,28 @@ mod tests {
     fn ethernet_names_decode() {
         assert_eq!(
             parse_iface_name("GigabitEthernet2/1"),
-            IfaceStruct::V1Ethernet { slot: 2, port: 1, logical: false }
+            IfaceStruct::V1Ethernet {
+                slot: 2,
+                port: 1,
+                logical: false
+            }
         );
         assert_eq!(
             parse_iface_name("GigabitEthernet2/1.100"),
-            IfaceStruct::V1Ethernet { slot: 2, port: 1, logical: true }
+            IfaceStruct::V1Ethernet {
+                slot: 2,
+                port: 1,
+                logical: true
+            }
         );
     }
 
     #[test]
     fn v2_ports_decode() {
-        assert_eq!(parse_iface_name("1/1/2"), IfaceStruct::V2Port { slot: 1, port: 1 });
+        assert_eq!(
+            parse_iface_name("1/1/2"),
+            IfaceStruct::V2Port { slot: 1, port: 1 }
+        );
         assert_eq!(parse_iface_name("1/1"), IfaceStruct::Other);
         assert_eq!(parse_iface_name("1/1/2/3"), IfaceStruct::Other);
         assert_eq!(parse_iface_name("900/1/2"), IfaceStruct::Other);
@@ -146,7 +175,10 @@ mod tests {
 
     #[test]
     fn ip_tokens_validate() {
-        assert_eq!(parse_ip_token("192.168.32.42"), Some("192.168.32.42".to_owned()));
+        assert_eq!(
+            parse_ip_token("192.168.32.42"),
+            Some("192.168.32.42".to_owned())
+        );
         assert_eq!(parse_ip_token("192.168.32"), None);
         assert_eq!(parse_ip_token("192.168.32.256"), None);
         assert_eq!(parse_ip_token("a.b.c.d"), None);

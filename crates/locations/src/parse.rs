@@ -110,7 +110,8 @@ pub fn parse_config(text: &str) -> ParsedConfig {
                 ));
             }
             (false, ["pim", "neighbor", peer, "primary", iface, "secondary-lsp", lsp]) => {
-                cfg.pim.push(((*peer).to_owned(), (*iface).to_owned(), (*lsp).to_owned()));
+                cfg.pim
+                    .push(((*peer).to_owned(), (*iface).to_owned(), (*lsp).to_owned()));
             }
             (true, ["ip", "address", addr, _mask]) => {
                 if let Some(i) = cur_iface {
@@ -132,8 +133,7 @@ pub fn parse_config(text: &str) -> ParsedConfig {
                     let cleaned = joined.trim_matches('"');
                     if let Some(tail) = cleaned.strip_prefix("link to ") {
                         if let Some((r, ifn)) = tail.split_once(' ') {
-                            cfg.interfaces[i].link_to =
-                                Some((r.to_owned(), ifn.to_owned()));
+                            cfg.interfaces[i].link_to = Some((r.to_owned(), ifn.to_owned()));
                         }
                     }
                 }
@@ -144,13 +144,15 @@ pub fn parse_config(text: &str) -> ParsedConfig {
                 }
             }
             (true, ["neighbor", addr, ..]) => {
-                cfg.bgp_neighbors.push(((*addr).to_owned(), cur_vrf.clone()));
+                cfg.bgp_neighbors
+                    .push(((*addr).to_owned(), cur_vrf.clone()));
             }
             (true, ["address-family", "ipv4", "vrf", vrf]) => {
                 cur_vrf = Some((*vrf).to_owned());
             }
             (true, ["vrf", vrf, "neighbor", addr]) => {
-                cfg.bgp_neighbors.push(((*addr).to_owned(), Some((*vrf).to_owned())));
+                cfg.bgp_neighbors
+                    .push(((*addr).to_owned(), Some((*vrf).to_owned())));
             }
             _ => {}
         }

@@ -12,16 +12,28 @@ fn check(spec: DatasetSpec) {
 
     // Every topology router is known, with its state code.
     for r in &d.topology.routers {
-        let rid = dict.router_id(&r.name).unwrap_or_else(|| panic!("{} unknown", r.name));
+        let rid = dict
+            .router_id(&r.name)
+            .unwrap_or_else(|| panic!("{} unknown", r.name));
         assert_eq!(dict.state_of(rid), r.state, "state of {}", r.name);
     }
     // Every link's two interfaces are dictionary peers.
     for l in &d.topology.links {
         let (ra, ia) = d.topology.endpoint(l.a);
         let (rb, ib) = d.topology.endpoint(l.b);
-        let la = dict.by_name(dict.router_id(&ra.name).unwrap(), &ia.name).unwrap();
-        let lb = dict.by_name(dict.router_id(&rb.name).unwrap(), &ib.name).unwrap();
-        assert_eq!(dict.link_peer(la), Some(lb), "link {} <-> {}", ia.name, ib.name);
+        let la = dict
+            .by_name(dict.router_id(&ra.name).unwrap(), &ia.name)
+            .unwrap();
+        let lb = dict
+            .by_name(dict.router_id(&rb.name).unwrap(), &ib.name)
+            .unwrap();
+        assert_eq!(
+            dict.link_peer(la),
+            Some(lb),
+            "link {} <-> {}",
+            ia.name,
+            ib.name
+        );
     }
 
     // Extraction succeeds for every message, and interface-bearing messages
@@ -58,7 +70,9 @@ fn iptv_paths_resolve() {
     let d = Dataset::generate(DatasetSpec::preset_b().scaled(0.12));
     let dict = LocationDictionary::build(&d.configs);
     for p in &d.topology.paths {
-        let loc = dict.path(&p.name).unwrap_or_else(|| panic!("path {} unknown", p.name));
+        let loc = dict
+            .path(&p.name)
+            .unwrap_or_else(|| panic!("path {} unknown", p.name));
         let routers = dict.path_routers(loc).expect("members recorded");
         assert!(!routers.is_empty());
     }

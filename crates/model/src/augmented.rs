@@ -6,21 +6,15 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense id of a learned message template (minted by the template learner).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TemplateId(pub u32);
 
 /// Dense id of an interned router name.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RouterId(pub u32);
 
 /// Dense id of a location in the location dictionary.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LocationId(pub u32);
 
 impl fmt::Display for TemplateId {
@@ -46,9 +40,7 @@ impl fmt::Display for LocationId {
 /// `depth()` grows downwards from the router; prioritization weighs an
 /// event at a *higher* level (smaller depth) more heavily, one order of
 /// magnitude per level (§4.2.4).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum LocationLevel {
     /// The router chassis itself.
     Router,

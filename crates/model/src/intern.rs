@@ -56,7 +56,10 @@ impl Interner {
 
     /// Iterate `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
     }
 
     /// Rebuild the reverse map after deserialization (serde skips it).

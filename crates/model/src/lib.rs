@@ -16,10 +16,12 @@ pub mod augmented;
 pub mod errorcode;
 pub mod intern;
 pub mod message;
+pub mod par;
 pub mod time;
 
 pub use augmented::{LocationId, LocationLevel, RouterId, SyslogPlus, TemplateId};
 pub use errorcode::{ErrorCode, Severity};
 pub use intern::Interner;
 pub use message::{sort_batch, GroundTruthId, RawMessage, Vendor};
+pub use par::{par_chunks, par_map, Parallelism};
 pub use time::{Timestamp, DAY, HOUR, MINUTE, WEEK};

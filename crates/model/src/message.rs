@@ -58,7 +58,13 @@ impl RawMessage {
         code: ErrorCode,
         detail: impl Into<String>,
     ) -> Self {
-        RawMessage { ts, router: router.into(), code, detail: detail.into(), gt_event: None }
+        RawMessage {
+            ts,
+            router: router.into(),
+            code,
+            detail: detail.into(),
+            gt_event: None,
+        }
     }
 
     /// Attach a ground-truth event id (builder style).
@@ -121,7 +127,9 @@ impl fmt::Display for RawMessage {
 /// reproducible from a seed.
 pub fn sort_batch(batch: &mut [RawMessage]) {
     batch.sort_by(|a, b| {
-        a.ts.cmp(&b.ts).then_with(|| a.router.cmp(&b.router)).then_with(|| a.code.cmp(&b.code))
+        a.ts.cmp(&b.ts)
+            .then_with(|| a.router.cmp(&b.router))
+            .then_with(|| a.code.cmp(&b.code))
     });
 }
 

@@ -167,7 +167,10 @@ mod tests {
         let start = Timestamp::from_ymd_hms(2009, 12, 1, 0, 0, 0);
         let later = Timestamp::from_ymd_hms(2009, 12, 3, 5, 0, 0);
         assert_eq!(later.day_index(start), 2);
-        assert_eq!(later.start_of_day(), Timestamp::from_ymd_hms(2009, 12, 3, 0, 0, 0));
+        assert_eq!(
+            later.start_of_day(),
+            Timestamp::from_ymd_hms(2009, 12, 3, 0, 0, 0)
+        );
         assert_eq!(later.seconds_since(start), 2 * DAY + 5 * HOUR);
     }
 

@@ -155,7 +155,9 @@ pub fn render_config(topo: &Topology, idx: usize) -> String {
 
 /// Render configs for every router.
 pub fn render_all(topo: &Topology) -> Vec<String> {
-    (0..topo.routers.len()).map(|i| render_config(topo, i)).collect()
+    (0..topo.routers.len())
+        .map(|i| render_config(topo, i))
+        .collect()
 }
 
 /// `link to <router> <iface>` description for interface `iface` of router
@@ -177,11 +179,7 @@ fn link_description(topo: &Topology, idx: usize, iface: usize) -> Option<String>
 }
 
 /// The router names along a hop sequence starting at `from`.
-fn path_router_names(
-    topo: &Topology,
-    hops: impl Iterator<Item = usize>,
-    from: usize,
-) -> Vec<&str> {
+fn path_router_names(topo: &Topology, hops: impl Iterator<Item = usize>, from: usize) -> Vec<&str> {
     let mut names = vec![topo.routers[from].name.as_str()];
     let mut cur = from;
     for h in hops {
@@ -238,7 +236,10 @@ mod tests {
         });
         let adj = &topo.pim[0];
         let cfg_a = render_config(&topo, adj.a);
-        assert!(cfg_a.contains("pim neighbor "), "missing pim stanza:\n{cfg_a}");
+        assert!(
+            cfg_a.contains("pim neighbor "),
+            "missing pim stanza:\n{cfg_a}"
+        );
         let head = topo.paths[adj.secondary_path].from;
         let cfg_head = render_config(&topo, head);
         assert!(cfg_head.contains("mpls lsp "), "missing lsp stanza");

@@ -17,10 +17,36 @@ use serde::{Deserialize, Serialize};
 /// Username pool for config sessions, login events and noise. Large enough
 /// that the template learner sees usernames as a variable field.
 pub const USERS: &[&str] = &[
-    "jsmith", "ops1", "neteng", "autoconf", "svcmon", "root", "admin", "test", "oracle",
-    "backup", "rancid", "nagios", "tacacs", "mwhite", "pgarcia", "dkim", "ajones", "tlee",
-    "bchen", "rpatel", "noc1", "noc2", "noc3", "fieldtech", "vendor1", "audit", "secops",
-    "provision", "cronuser", "labuser",
+    "jsmith",
+    "ops1",
+    "neteng",
+    "autoconf",
+    "svcmon",
+    "root",
+    "admin",
+    "test",
+    "oracle",
+    "backup",
+    "rancid",
+    "nagios",
+    "tacacs",
+    "mwhite",
+    "pgarcia",
+    "dkim",
+    "ajones",
+    "tlee",
+    "bchen",
+    "rpatel",
+    "noc1",
+    "noc2",
+    "noc3",
+    "fieldtech",
+    "vendor1",
+    "audit",
+    "secops",
+    "provision",
+    "cronuser",
+    "labuser",
 ];
 
 fn pick_user(rng: &mut StdRng) -> String {
@@ -134,13 +160,30 @@ pub struct EventSim<'a> {
 impl<'a> EventSim<'a> {
     /// New simulator over `topo` speaking `grammar`.
     pub fn new(topo: &'a Topology, grammar: &'a Grammar) -> Self {
-        EventSim { topo, grammar, msgs: Vec::new(), events: Vec::new(), next_id: 1 }
+        EventSim {
+            topo,
+            grammar,
+            msgs: Vec::new(),
+            events: Vec::new(),
+            next_id: 1,
+        }
     }
 
-    fn push(&mut self, ts: Timestamp, router: usize, key: &str, vals: &[String], gt: GroundTruthId) {
+    fn push(
+        &mut self,
+        ts: Timestamp,
+        router: usize,
+        key: &str,
+        vals: &[String],
+        gt: GroundTruthId,
+    ) {
         let t = self.grammar.get(key);
         let mut it = vals.iter();
-        let detail = t.render(|_| it.next().unwrap_or_else(|| panic!("missing value for {key}")).clone());
+        let detail = t.render(|_| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {key}"))
+                .clone()
+        });
         assert!(it.next().is_none(), "extra var values for {key}");
         self.msgs.push(RawMessage {
             ts,
@@ -158,20 +201,30 @@ impl<'a> EventSim<'a> {
     }
 
     fn finish(&mut self, id: GroundTruthId, kind: EventKind, routers: Vec<usize>) {
-        let mine: Vec<&RawMessage> =
-            self.msgs.iter().filter(|m| m.gt_event == Some(id)).collect();
+        let mine: Vec<&RawMessage> = self
+            .msgs
+            .iter()
+            .filter(|m| m.gt_event == Some(id))
+            .collect();
         if mine.is_empty() {
             return;
         }
         let start = mine.iter().map(|m| m.ts).min().unwrap();
         let end = mine.iter().map(|m| m.ts).max().unwrap();
         let n = mine.len();
-        let importance =
-            (kind.base_importance() * (1.0 + (n as f64).ln() / 10.0)).min(1.0);
+        let importance = (kind.base_importance() * (1.0 + (n as f64).ln() / 10.0)).min(1.0);
         let mut routers = routers;
         routers.sort_unstable();
         routers.dedup();
-        self.events.push(GtEvent { id, kind, start, end, routers, n_messages: n, importance });
+        self.events.push(GtEvent {
+            id,
+            kind,
+            start,
+            end,
+            routers,
+            n_messages: n,
+            importance,
+        });
     }
 
     /// Link-flap cascade on `link_idx` starting at `start`: `n_flaps`
@@ -190,12 +243,19 @@ impl<'a> EventSim<'a> {
         let id = self.begin();
         let link = self.topo.links[link_idx].clone();
         let ends = [link.a, link.b];
-        let names: Vec<String> =
-            ends.iter().map(|e| self.topo.endpoint(*e).1.name.clone()).collect();
+        let names: Vec<String> = ends
+            .iter()
+            .map(|e| self.topo.endpoint(*e).1.name.clone())
+            .collect();
         let peer_ips: Vec<String> = [link.b, link.a]
             .iter()
             .map(|e| {
-                self.topo.endpoint(*e).1.ip.map(|ip| ip.to_string()).unwrap_or_default()
+                self.topo
+                    .endpoint(*e)
+                    .1
+                    .ip
+                    .map(|ip| ip.to_string())
+                    .unwrap_or_default()
             })
             .collect();
         let with_ospf = rng.gen_bool(0.6);
@@ -212,7 +272,13 @@ impl<'a> EventSim<'a> {
             let down_dur = rng.gen_range(2..12);
             for (e, ep) in ends.iter().enumerate() {
                 self.push(t, ep.router, "LINK_DOWN", &[names[e].clone()], id);
-                self.push(t.plus(1), ep.router, "LINEPROTO_DOWN", &[names[e].clone()], id);
+                self.push(
+                    t.plus(1),
+                    ep.router,
+                    "LINEPROTO_DOWN",
+                    &[names[e].clone()],
+                    id,
+                );
                 if with_ospf {
                     self.push(
                         t.plus(2),
@@ -226,7 +292,13 @@ impl<'a> EventSim<'a> {
             let up = t.plus(down_dur);
             for (e, ep) in ends.iter().enumerate() {
                 self.push(up, ep.router, "LINK_UP", &[names[e].clone()], id);
-                self.push(up.plus(1), ep.router, "LINEPROTO_UP", &[names[e].clone()], id);
+                self.push(
+                    up.plus(1),
+                    ep.router,
+                    "LINEPROTO_UP",
+                    &[names[e].clone()],
+                    id,
+                );
                 if with_ospf {
                     self.push(
                         up.plus(3),
@@ -266,14 +338,30 @@ impl<'a> EventSim<'a> {
             // 60-120 s) — hence dataset A's saturation near W = 120 s.
             // Occasional early re-flaps punish a large EWMA alpha.
             gap = (gap * rng.gen_range(0.9..1.12)).clamp(60.0, 1500.0);
-            let jitter = if rng.gen_bool(0.12) { rng.gen_range(0.2..0.5) } else { 1.0 };
+            let jitter = if rng.gen_bool(0.12) {
+                rng.gen_range(0.2..0.5)
+            } else {
+                1.0
+            };
             t = t.plus(((gap * jitter) as i64).max(15) + down_dur);
         }
         if let Some(si) = bgp {
             let s = self.topo.bgp_sessions[si].clone();
             let vrf = s.vrf.clone().unwrap_or_else(|| "1000:1000".to_owned());
-            self.push(last.plus(rng.gen_range(30..90)), s.a, "BGP_UP", &[s.b_addr.to_string(), vrf.clone()], id);
-            self.push(last.plus(rng.gen_range(30..90)), s.b, "BGP_UP", &[s.a_addr.to_string(), vrf], id);
+            self.push(
+                last.plus(rng.gen_range(30..90)),
+                s.a,
+                "BGP_UP",
+                &[s.b_addr.to_string(), vrf.clone()],
+                id,
+            );
+            self.push(
+                last.plus(rng.gen_range(30..90)),
+                s.b,
+                "BGP_UP",
+                &[s.a_addr.to_string(), vrf],
+                id,
+            );
         }
         self.finish(id, EventKind::LinkFlap, vec![link.a.router, link.b.router]);
     }
@@ -307,29 +395,89 @@ impl<'a> EventSim<'a> {
         let mut t = start;
         let mut involved = vec![router];
         for _ in 0..n_cycles.max(1) {
-            self.push(t, router, "CONTROLLER_DOWN", &[ctl_tail.clone()], id);
+            self.push(
+                t,
+                router,
+                "CONTROLLER_DOWN",
+                std::slice::from_ref(&ctl_tail),
+                id,
+            );
             let lag = rng.gen_range(10..30);
             for ifn in &child_ifaces {
-                self.push(t.plus(lag), router, "LINK_DOWN", &[ifn.clone()], id);
-                self.push(t.plus(lag + 1), router, "LINEPROTO_DOWN", &[ifn.clone()], id);
+                self.push(
+                    t.plus(lag),
+                    router,
+                    "LINK_DOWN",
+                    std::slice::from_ref(ifn),
+                    id,
+                );
+                self.push(
+                    t.plus(lag + 1),
+                    router,
+                    "LINEPROTO_DOWN",
+                    std::slice::from_ref(ifn),
+                    id,
+                );
             }
             for (pr, pifn) in &peers {
-                self.push(t.plus(lag), *pr, "LINK_DOWN", &[pifn.clone()], id);
-                self.push(t.plus(lag + 1), *pr, "LINEPROTO_DOWN", &[pifn.clone()], id);
+                self.push(
+                    t.plus(lag),
+                    *pr,
+                    "LINK_DOWN",
+                    std::slice::from_ref(pifn),
+                    id,
+                );
+                self.push(
+                    t.plus(lag + 1),
+                    *pr,
+                    "LINEPROTO_DOWN",
+                    std::slice::from_ref(pifn),
+                    id,
+                );
                 involved.push(*pr);
             }
             let dur = rng.gen_range(5..40);
-            self.push(t.plus(lag + dur), router, "CONTROLLER_UP", &[ctl_tail.clone()], id);
+            self.push(
+                t.plus(lag + dur),
+                router,
+                "CONTROLLER_UP",
+                std::slice::from_ref(&ctl_tail),
+                id,
+            );
             for ifn in &child_ifaces {
-                self.push(t.plus(lag + dur + 2), router, "LINK_UP", &[ifn.clone()], id);
-                self.push(t.plus(lag + dur + 3), router, "LINEPROTO_UP", &[ifn.clone()], id);
+                self.push(
+                    t.plus(lag + dur + 2),
+                    router,
+                    "LINK_UP",
+                    std::slice::from_ref(ifn),
+                    id,
+                );
+                self.push(
+                    t.plus(lag + dur + 3),
+                    router,
+                    "LINEPROTO_UP",
+                    std::slice::from_ref(ifn),
+                    id,
+                );
             }
             for (pr, pifn) in &peers {
-                self.push(t.plus(lag + dur + 2), *pr, "LINK_UP", &[pifn.clone()], id);
-                self.push(t.plus(lag + dur + 3), *pr, "LINEPROTO_UP", &[pifn.clone()], id);
+                self.push(
+                    t.plus(lag + dur + 2),
+                    *pr,
+                    "LINK_UP",
+                    std::slice::from_ref(pifn),
+                    id,
+                );
+                self.push(
+                    t.plus(lag + dur + 3),
+                    *pr,
+                    "LINEPROTO_UP",
+                    std::slice::from_ref(pifn),
+                    id,
+                );
             }
             let cluster_gap = rng.gen_range(400..1200);
-            t = t.plus((lag + dur + cluster_gap) as i64);
+            t = t.plus(lag + dur + cluster_gap);
         }
         self.finish(id, EventKind::ControllerFlap, involved);
     }
@@ -348,11 +496,35 @@ impl<'a> EventSim<'a> {
             (s.a_addr.to_string(), s.b_addr.to_string())
         };
         if rng.gen_bool(0.5) {
-            self.push(start, snd, "BGP_DOWN_SENT", &[snd_peer.clone(), vrf.clone()], id);
-            self.push(start.plus(1), rcv, "BGP_DOWN_RECV", &[rcv_peer.clone(), vrf.clone()], id);
+            self.push(
+                start,
+                snd,
+                "BGP_DOWN_SENT",
+                &[snd_peer.clone(), vrf.clone()],
+                id,
+            );
+            self.push(
+                start.plus(1),
+                rcv,
+                "BGP_DOWN_RECV",
+                &[rcv_peer.clone(), vrf.clone()],
+                id,
+            );
         } else {
-            self.push(start, snd, "BGP_DOWN_CLOSED", &[snd_peer.clone(), vrf.clone()], id);
-            self.push(start.plus(1), rcv, "BGP_DOWN_CLOSED", &[rcv_peer.clone(), vrf.clone()], id);
+            self.push(
+                start,
+                snd,
+                "BGP_DOWN_CLOSED",
+                &[snd_peer.clone(), vrf.clone()],
+                id,
+            );
+            self.push(
+                start.plus(1),
+                rcv,
+                "BGP_DOWN_CLOSED",
+                &[rcv_peer.clone(), vrf.clone()],
+                id,
+            );
         }
         let re = start.plus(rng.gen_range(30..115));
         self.push(re, snd, "BGP_UP", &[snd_peer, vrf.clone()], id);
@@ -391,7 +563,13 @@ impl<'a> EventSim<'a> {
         );
         self.push(t, router, "CPU_RISE", &[pct.to_string(), pidlist], id);
         let dur = rng.gen_range(45..110);
-        self.push(t.plus(dur), router, "CPU_FALL", &[rng.gen_range(20..40).to_string()], id);
+        self.push(
+            t.plus(dur),
+            router,
+            "CPU_FALL",
+            &[rng.gen_range(20..40).to_string()],
+            id,
+        );
         self.finish(id, EventKind::CpuSpike, vec![router]);
     }
 
@@ -400,11 +578,19 @@ impl<'a> EventSim<'a> {
     pub fn linecard_crash(&mut self, rng: &mut StdRng, router: usize, start: Timestamp) {
         let id = self.begin();
         let r = &self.topo.routers[router];
-        let mut slots: Vec<u8> =
-            r.interfaces.iter().filter(|i| i.ip.is_some() && i.slot > 0).map(|i| i.slot).collect();
+        let mut slots: Vec<u8> = r
+            .interfaces
+            .iter()
+            .filter(|i| i.ip.is_some() && i.slot > 0)
+            .map(|i| i.slot)
+            .collect();
         slots.sort_unstable();
         slots.dedup();
-        let slot = if slots.is_empty() { 1 } else { slots[rng.gen_range(0..slots.len())] };
+        let slot = if slots.is_empty() {
+            1
+        } else {
+            slots[rng.gen_range(0..slots.len())]
+        };
         let affected: Vec<String> = r
             .interfaces
             .iter()
@@ -415,23 +601,59 @@ impl<'a> EventSim<'a> {
         self.push(start, router, "LC_FAIL", &[slot.to_string()], id);
         let mut involved = vec![router];
         for ifn in &affected {
-            self.push(start.plus(2), router, "LINK_DOWN", &[ifn.clone()], id);
-            self.push(start.plus(3), router, "LINEPROTO_DOWN", &[ifn.clone()], id);
+            self.push(
+                start.plus(2),
+                router,
+                "LINK_DOWN",
+                std::slice::from_ref(ifn),
+                id,
+            );
+            self.push(
+                start.plus(3),
+                router,
+                "LINEPROTO_DOWN",
+                std::slice::from_ref(ifn),
+                id,
+            );
         }
         for (pr, pifn) in &peers {
-            self.push(start.plus(2), *pr, "LINK_DOWN", &[pifn.clone()], id);
-            self.push(start.plus(3), *pr, "LINEPROTO_DOWN", &[pifn.clone()], id);
+            self.push(
+                start.plus(2),
+                *pr,
+                "LINK_DOWN",
+                std::slice::from_ref(pifn),
+                id,
+            );
+            self.push(
+                start.plus(3),
+                *pr,
+                "LINEPROTO_DOWN",
+                std::slice::from_ref(pifn),
+                id,
+            );
             involved.push(*pr);
         }
         let up = start.plus(rng.gen_range(120..600));
         self.push(up, router, "LC_UP", &[slot.to_string()], id);
         for ifn in &affected {
-            self.push(up.plus(4), router, "LINK_UP", &[ifn.clone()], id);
-            self.push(up.plus(5), router, "LINEPROTO_UP", &[ifn.clone()], id);
+            self.push(up.plus(4), router, "LINK_UP", std::slice::from_ref(ifn), id);
+            self.push(
+                up.plus(5),
+                router,
+                "LINEPROTO_UP",
+                std::slice::from_ref(ifn),
+                id,
+            );
         }
         for (pr, pifn) in &peers {
-            self.push(up.plus(4), *pr, "LINK_UP", &[pifn.clone()], id);
-            self.push(up.plus(5), *pr, "LINEPROTO_UP", &[pifn.clone()], id);
+            self.push(up.plus(4), *pr, "LINK_UP", std::slice::from_ref(pifn), id);
+            self.push(
+                up.plus(5),
+                *pr,
+                "LINEPROTO_UP",
+                std::slice::from_ref(pifn),
+                id,
+            );
         }
         self.finish(id, EventKind::LineCardCrash, involved);
     }
@@ -443,7 +665,9 @@ impl<'a> EventSim<'a> {
     /// additions).
     pub fn env_alarm(&mut self, rng: &mut StdRng, router: usize, start: Timestamp) {
         let id = self.begin();
-        let slot = rng.gen_range(0..self.topo.routers[router].slots).to_string();
+        let slot = rng
+            .gen_range(0..self.topo.routers[router].slots)
+            .to_string();
         let tray = rng.gen_range(0..6).to_string();
         let n = rng.gen_range(2..8);
         let mut t = start;
@@ -451,7 +675,13 @@ impl<'a> EventSim<'a> {
             let temp = rng.gen_range(70..95).to_string();
             self.push(t, router, "ENV_TEMP", &[slot.clone(), temp], id);
             if i == 0 {
-                self.push(t.plus(rng.gen_range(5..25)), router, "FAN_FAIL", &[tray.clone()], id);
+                self.push(
+                    t.plus(rng.gen_range(5..25)),
+                    router,
+                    "FAN_FAIL",
+                    std::slice::from_ref(&tray),
+                    id,
+                );
             }
             t = t.plus(rng.gen_range(55..70));
         }
@@ -527,8 +757,10 @@ impl<'a> EventSim<'a> {
         let id = self.begin();
         let link = self.topo.links[link_idx].clone();
         let ends = [link.a, link.b];
-        let names: Vec<String> =
-            ends.iter().map(|e| self.topo.endpoint(*e).1.name.clone()).collect();
+        let names: Vec<String> = ends
+            .iter()
+            .map(|e| self.topo.endpoint(*e).1.name.clone())
+            .collect();
         let mut gap: f64 = rng.gen_range(80.0..350.0);
         let mut t = start;
         let svc = rng.gen_range(100..999).to_string();
@@ -542,12 +774,24 @@ impl<'a> EventSim<'a> {
             let down_dur = sap_lag + rng.gen_range(2..5);
             for (e, ep) in ends.iter().enumerate() {
                 self.push(t, ep.router, "SNMP_LINKDOWN", &[names[e].clone()], id);
-                self.push(t.plus(sap_lag), ep.router, "SAP_CHANGE", &[names[e].clone()], id);
+                self.push(
+                    t.plus(sap_lag),
+                    ep.router,
+                    "SAP_CHANGE",
+                    &[names[e].clone()],
+                    id,
+                );
                 // Services ride the SAPs: the first flap takes the service
                 // oper-state down on both ends (router-scoped messages, the
                 // reason port flaps page people).
                 if with_svc && flap == 0 {
-                    self.push(t.plus(sap_lag + 1), ep.router, "SVC_DOWN", &[svc.clone()], id);
+                    self.push(
+                        t.plus(sap_lag + 1),
+                        ep.router,
+                        "SVC_DOWN",
+                        std::slice::from_ref(&svc),
+                        id,
+                    );
                 }
             }
             let up = t.plus(down_dur);
@@ -560,12 +804,22 @@ impl<'a> EventSim<'a> {
             // grid; B's learnable lags are the within-cycle down/SAP/up
             // ones (<= 40 s), hence saturation near W = 40 s.
             gap = (gap * rng.gen_range(0.9..1.12)).clamp(60.0, 1500.0);
-            let jitter = if rng.gen_bool(0.12) { rng.gen_range(0.2..0.5) } else { 1.0 };
+            let jitter = if rng.gen_bool(0.12) {
+                rng.gen_range(0.2..0.5)
+            } else {
+                1.0
+            };
             t = up.plus(((gap * jitter) as i64).max(15));
         }
         if with_svc {
             for ep in &ends {
-                self.push(last_up.plus(2), ep.router, "SVC_UP", &[svc.clone()], id);
+                self.push(
+                    last_up.plus(2),
+                    ep.router,
+                    "SVC_UP",
+                    std::slice::from_ref(&svc),
+                    id,
+                );
             }
         }
         self.finish(id, EventKind::PortFlap, vec![link.a.router, link.b.router]);
@@ -584,11 +838,17 @@ impl<'a> EventSim<'a> {
         let head = path.from;
 
         // Phase 1: secondary path broken, retrying every ~5 min.
-        self.push(start, head, "LSP_DOWN", &[lsp.clone()], id);
+        self.push(start, head, "LSP_DOWN", std::slice::from_ref(&lsp), id);
         let retries = rng.gen_range(12..30);
         let mut t = start.plus(300);
         for i in 0..retries {
-            self.push(t, head, "LSP_RETRY", &[lsp.clone(), (i + 1).to_string()], id);
+            self.push(
+                t,
+                head,
+                "LSP_RETRY",
+                &[lsp.clone(), (i + 1).to_string()],
+                id,
+            );
             t = t.plus(295 + rng.gen_range(0..10));
         }
 
@@ -599,21 +859,63 @@ impl<'a> EventSim<'a> {
         let mut involved = vec![adj.a, adj.b, head];
         for ep in [plink.a, plink.b] {
             let name = self.topo.endpoint(ep).1.name.clone();
-            self.push(fail, ep.router, "SNMP_LINKDOWN", &[name.clone()], id);
-            self.push(fail.plus(rng.gen_range(5..30)), ep.router, "SAP_CHANGE", &[name], id);
+            self.push(
+                fail,
+                ep.router,
+                "SNMP_LINKDOWN",
+                std::slice::from_ref(&name),
+                id,
+            );
+            self.push(
+                fail.plus(rng.gen_range(5..30)),
+                ep.router,
+                "SAP_CHANGE",
+                &[name],
+                id,
+            );
         }
-        self.push(fail.plus(1), head, "FRR_SWITCH", &[lsp.clone()], id);
-        self.push(fail.plus(1), head, "RSVP_V2", &[lsp.clone()], id);
+        self.push(
+            fail.plus(1),
+            head,
+            "FRR_SWITCH",
+            std::slice::from_ref(&lsp),
+            id,
+        );
+        self.push(
+            fail.plus(1),
+            head,
+            "RSVP_V2",
+            std::slice::from_ref(&lsp),
+            id,
+        );
         for ep in [plink.a, plink.b] {
-            self.push(fail.plus(1), ep.router, "RSVP_V2", &[lsp.clone()], id);
+            self.push(
+                fail.plus(1),
+                ep.router,
+                "RSVP_V2",
+                std::slice::from_ref(&lsp),
+                id,
+            );
         }
         let (ra, rb) = (adj.a, adj.b);
         let a_ip = self.topo.routers[ra].loopback.to_string();
         let b_ip = self.topo.routers[rb].loopback.to_string();
         let a_if = self.topo.endpoint(plink.a).1.name.clone();
         let b_if = self.topo.endpoint(plink.b).1.name.clone();
-        self.push(fail.plus(2), ra, "PIM_NBR_LOSS", &[b_ip.clone(), a_if.clone()], id);
-        self.push(fail.plus(2), rb, "PIM_NBR_LOSS", &[a_ip.clone(), b_if.clone()], id);
+        self.push(
+            fail.plus(2),
+            ra,
+            "PIM_NBR_LOSS",
+            &[b_ip.clone(), a_if.clone()],
+            id,
+        );
+        self.push(
+            fail.plus(2),
+            rb,
+            "PIM_NBR_LOSS",
+            &[a_ip.clone(), b_if.clone()],
+            id,
+        );
         // Fallout along the secondary path's hop routers.
         let mut cur = path.from;
         for &h in &path.hops {
@@ -646,7 +948,7 @@ impl<'a> EventSim<'a> {
         }
         self.push(rec.plus(2), ra, "PIM_NBR_UP", &[b_ip, a_if], id);
         self.push(rec.plus(2), rb, "PIM_NBR_UP", &[a_ip.clone(), b_if], id);
-        self.push(rec.plus(5), head, "LSP_UP", &[lsp.clone()], id);
+        self.push(rec.plus(5), head, "LSP_UP", std::slice::from_ref(&lsp), id);
         self.push(rec.plus(6), head, "FRR_REVERT", &[lsp], id);
         let mut cur = path.from;
         for &h in &path.hops {
@@ -679,19 +981,55 @@ impl<'a> EventSim<'a> {
         let mut involved = vec![head];
         for ep in [link.a, link.b] {
             let name = self.topo.endpoint(ep).1.name.clone();
-            self.push(start, ep.router, "SNMP_LINKDOWN", &[name.clone()], id);
-            self.push(start.plus(1), ep.router, "RSVP_V2", &[path.name.clone()], id);
-            self.push(start.plus(rng.gen_range(5..35)), ep.router, "SAP_CHANGE", &[name], id);
+            self.push(
+                start,
+                ep.router,
+                "SNMP_LINKDOWN",
+                std::slice::from_ref(&name),
+                id,
+            );
+            self.push(
+                start.plus(1),
+                ep.router,
+                "RSVP_V2",
+                std::slice::from_ref(&path.name),
+                id,
+            );
+            self.push(
+                start.plus(rng.gen_range(5..35)),
+                ep.router,
+                "SAP_CHANGE",
+                &[name],
+                id,
+            );
             involved.push(ep.router);
         }
-        self.push(start.plus(1), head, "RSVP_V2", &[path.name.clone()], id);
-        self.push(start.plus(1), head, "FRR_SWITCH", &[path.name.clone()], id);
+        self.push(
+            start.plus(1),
+            head,
+            "RSVP_V2",
+            std::slice::from_ref(&path.name),
+            id,
+        );
+        self.push(
+            start.plus(1),
+            head,
+            "FRR_SWITCH",
+            std::slice::from_ref(&path.name),
+            id,
+        );
         let rec = start.plus(rng.gen_range(60..600));
         for ep in [link.a, link.b] {
             let name = self.topo.endpoint(ep).1.name.clone();
             self.push(rec, ep.router, "SNMP_LINKUP", &[name], id);
         }
-        self.push(rec.plus(2), head, "FRR_REVERT", &[path.name.clone()], id);
+        self.push(
+            rec.plus(2),
+            head,
+            "FRR_REVERT",
+            std::slice::from_ref(&path.name),
+            id,
+        );
         self.finish(id, EventKind::MplsReroute, involved);
     }
 
@@ -706,7 +1044,13 @@ impl<'a> EventSim<'a> {
         for _ in 0..n {
             self.push(t, router, "FTP_FAIL", &[user.clone(), scanner.clone()], id);
             let lag = rng.gen_range(30..40);
-            self.push(t.plus(lag), router, "SSH_FAIL", &[user.clone(), scanner.clone()], id);
+            self.push(
+                t.plus(lag),
+                router,
+                "SSH_FAIL",
+                &[user.clone(), scanner.clone()],
+                id,
+            );
             t = t.plus(lag + rng.gen_range(400..900));
         }
         self.finish(id, EventKind::LoginFailureWave, vec![router]);
@@ -717,13 +1061,19 @@ impl<'a> EventSim<'a> {
     /// correlation the dataset-B workload schedules only during its first
     /// weeks, so the corresponding learned rule is later *deleted* by the
     /// weekly update (Figure 9).
-    pub fn svc_flap(&mut self, rng: &mut StdRng, router: usize, start: Timestamp, with_video: bool) {
+    pub fn svc_flap(
+        &mut self,
+        rng: &mut StdRng,
+        router: usize,
+        start: Timestamp,
+        with_video: bool,
+    ) {
         let id = self.begin();
         let svc = rng.gen_range(100..999).to_string();
         let n = rng.gen_range(2..10);
         let mut t = start;
         for _ in 0..n {
-            self.push(t, router, "SVC_DOWN", &[svc.clone()], id);
+            self.push(t, router, "SVC_DOWN", std::slice::from_ref(&svc), id);
             if with_video {
                 self.push(
                     t.plus(rng.gen_range(10..25)),
@@ -737,7 +1087,13 @@ impl<'a> EventSim<'a> {
                 );
             }
             let dur = rng.gen_range(26..39);
-            self.push(t.plus(dur), router, "SVC_UP", &[svc.clone()], id);
+            self.push(
+                t.plus(dur),
+                router,
+                "SVC_UP",
+                std::slice::from_ref(&svc),
+                id,
+            );
             t = t.plus(dur + rng.gen_range(400..1200));
         }
         self.finish(id, EventKind::SvcFlap, vec![router]);
@@ -748,11 +1104,19 @@ impl<'a> EventSim<'a> {
     pub fn card_fail(&mut self, rng: &mut StdRng, router: usize, start: Timestamp) {
         let id = self.begin();
         let r = &self.topo.routers[router];
-        let mut slots: Vec<u8> =
-            r.interfaces.iter().filter(|i| i.ip.is_some() && i.slot > 0).map(|i| i.slot).collect();
+        let mut slots: Vec<u8> = r
+            .interfaces
+            .iter()
+            .filter(|i| i.ip.is_some() && i.slot > 0)
+            .map(|i| i.slot)
+            .collect();
         slots.sort_unstable();
         slots.dedup();
-        let slot = if slots.is_empty() { 1 } else { slots[rng.gen_range(0..slots.len())] };
+        let slot = if slots.is_empty() {
+            1
+        } else {
+            slots[rng.gen_range(0..slots.len())]
+        };
         let affected: Vec<String> = r
             .interfaces
             .iter()
@@ -763,20 +1127,50 @@ impl<'a> EventSim<'a> {
         self.push(start, router, "CARD_FAIL", &[slot.to_string()], id);
         let mut involved = vec![router];
         for ifn in &affected {
-            self.push(start.plus(2), router, "SNMP_LINKDOWN", &[ifn.clone()], id);
-            self.push(start.plus(rng.gen_range(7..40)), router, "SAP_CHANGE", &[ifn.clone()], id);
+            self.push(
+                start.plus(2),
+                router,
+                "SNMP_LINKDOWN",
+                std::slice::from_ref(ifn),
+                id,
+            );
+            self.push(
+                start.plus(rng.gen_range(7..40)),
+                router,
+                "SAP_CHANGE",
+                std::slice::from_ref(ifn),
+                id,
+            );
         }
         for (pr, pifn) in &peers {
-            self.push(start.plus(2), *pr, "SNMP_LINKDOWN", &[pifn.clone()], id);
+            self.push(
+                start.plus(2),
+                *pr,
+                "SNMP_LINKDOWN",
+                std::slice::from_ref(pifn),
+                id,
+            );
             involved.push(*pr);
         }
         let up = start.plus(rng.gen_range(180..900));
         self.push(up, router, "CARD_UP", &[slot.to_string()], id);
         for ifn in &affected {
-            self.push(up.plus(3), router, "SNMP_LINKUP", &[ifn.clone()], id);
+            self.push(
+                up.plus(3),
+                router,
+                "SNMP_LINKUP",
+                std::slice::from_ref(ifn),
+                id,
+            );
         }
         for (pr, pifn) in &peers {
-            self.push(up.plus(3), *pr, "SNMP_LINKUP", &[pifn.clone()], id);
+            self.push(
+                up.plus(3),
+                *pr,
+                "SNMP_LINKUP",
+                std::slice::from_ref(pifn),
+                id,
+            );
         }
         self.finish(id, EventKind::CardFail, involved);
     }
@@ -797,8 +1191,11 @@ impl<'a> EventSim<'a> {
         duration: i64,
     ) {
         let t = self.grammar.get(key);
-        let vals: Vec<String> =
-            t.vars().iter().map(|k| self.random_value(rng, router, *k)).collect();
+        let vals: Vec<String> = t
+            .vars()
+            .iter()
+            .map(|k| self.random_value(rng, router, *k))
+            .collect();
         let mut it = vals.iter().cycle();
         let mut ts = start.plus(rng.gen_range(0..period.max(1)));
         let end = start.plus(duration);
@@ -830,8 +1227,11 @@ impl<'a> EventSim<'a> {
         n: usize,
     ) {
         let t = self.grammar.get(key);
-        let vals: Vec<String> =
-            t.vars().iter().map(|k| self.random_value(rng, router, *k)).collect();
+        let vals: Vec<String> = t
+            .vars()
+            .iter()
+            .map(|k| self.random_value(rng, router, *k))
+            .collect();
         let mut cur = ts;
         for _ in 0..n.max(1) {
             let mut it = vals.iter();
@@ -851,8 +1251,11 @@ impl<'a> EventSim<'a> {
     /// synthesizing plausible values for each variable slot.
     pub fn background(&mut self, rng: &mut StdRng, router: usize, key: &str, ts: Timestamp) {
         let t = self.grammar.get(key);
-        let vals: Vec<String> =
-            t.vars().iter().map(|k| self.random_value(rng, router, *k)).collect();
+        let vals: Vec<String> = t
+            .vars()
+            .iter()
+            .map(|k| self.random_value(rng, router, *k))
+            .collect();
         let mut it = vals.iter();
         let detail = t.render(|_| it.next().unwrap().clone());
         self.msgs.push(RawMessage {
@@ -908,9 +1311,13 @@ impl<'a> EventSim<'a> {
             VarKind::PortNum => rng.gen_range(1..65_000).to_string(),
             VarKind::Name => {
                 if rng.gen_bool(0.5) {
-                    self.topo.routers[rng.gen_range(0..self.topo.routers.len())].name.clone()
+                    self.topo.routers[rng.gen_range(0..self.topo.routers.len())]
+                        .name
+                        .clone()
                 } else if !self.topo.paths.is_empty() {
-                    self.topo.paths[rng.gen_range(0..self.topo.paths.len())].name.clone()
+                    self.topo.paths[rng.gen_range(0..self.topo.paths.len())]
+                        .name
+                        .clone()
                 } else {
                     format!("obj{}", rng.gen_range(0..500))
                 }
@@ -930,11 +1337,7 @@ impl<'a> EventSim<'a> {
 
 /// For each named interface on `router` that terminates a link, the peer's
 /// `(router index, interface name)`.
-fn child_peer_ends(
-    topo: &Topology,
-    router: usize,
-    iface_names: &[String],
-) -> Vec<(usize, String)> {
+fn child_peer_ends(topo: &Topology, router: usize, iface_names: &[String]) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     for l in &topo.links {
         for (me, peer) in [(l.a, l.b), (l.b, l.a)] {
@@ -979,7 +1382,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(vendor: Vendor, iptv: bool) -> (Topology, Grammar) {
-        let topo = Topology::generate(&TopoSpec { n_routers: 16, vendor, iptv, seed: 11 });
+        let topo = Topology::generate(&TopoSpec {
+            n_routers: 16,
+            vendor,
+            iptv,
+            seed: 11,
+        });
         let grammar = Grammar::for_vendor(vendor);
         (topo, grammar)
     }
@@ -1006,7 +1414,10 @@ mod tests {
             sim.msgs.iter().map(|m| m.router.as_str()).collect();
         assert_eq!(routers.len(), 2);
         assert!(sim.msgs.iter().any(|m| m.code.as_str() == "LINK-3-UPDOWN"));
-        assert!(sim.msgs.iter().any(|m| m.code.as_str() == "LINEPROTO-5-UPDOWN"));
+        assert!(sim
+            .msgs
+            .iter()
+            .any(|m| m.code.as_str() == "LINEPROTO-5-UPDOWN"));
     }
 
     #[test]
@@ -1015,18 +1426,24 @@ mod tests {
         let router = topo
             .routers
             .iter()
-            .position(|r| r.controllers.iter().any(|c| {
-                c.children.iter().any(|&ch| {
-                    topo.routers.iter().position(|x| std::ptr::eq(x, r)).map_or(false, |ri| {
-                        topo.links.iter().any(|l| {
-                            [l.a, l.b].iter().any(|e| {
-                                e.router == ri
-                                    && topo.routers[ri].interfaces[e.iface].parent == Some(ch)
+            .position(|r| {
+                r.controllers.iter().any(|c| {
+                    c.children.iter().any(|&ch| {
+                        topo.routers
+                            .iter()
+                            .position(|x| std::ptr::eq(x, r))
+                            .is_some_and(|ri| {
+                                topo.links.iter().any(|l| {
+                                    [l.a, l.b].iter().any(|e| {
+                                        e.router == ri
+                                            && topo.routers[ri].interfaces[e.iface].parent
+                                                == Some(ch)
+                                    })
+                                })
                             })
-                        })
                     })
                 })
-            }))
+            })
             .expect("some controller with linked children");
         let ctl = topo.routers[router]
             .controllers
@@ -1092,8 +1509,14 @@ mod tests {
         sim.login_failure_wave(&mut rng, 0, Timestamp(0));
         let mut sorted = sim.msgs.clone();
         sd_model::sort_batch(&mut sorted);
-        let ftp: Vec<_> = sorted.iter().filter(|m| m.code.as_str().contains("ftp")).collect();
-        let ssh: Vec<_> = sorted.iter().filter(|m| m.code.as_str().contains("ssh")).collect();
+        let ftp: Vec<_> = sorted
+            .iter()
+            .filter(|m| m.code.as_str().contains("ftp"))
+            .collect();
+        let ssh: Vec<_> = sorted
+            .iter()
+            .filter(|m| m.code.as_str().contains("ssh"))
+            .collect();
         assert_eq!(ftp.len(), ssh.len());
         for (f, s) in ftp.iter().zip(&ssh) {
             let lag = s.ts.seconds_since(f.ts);

@@ -115,10 +115,12 @@ impl GrammarTemplate {
             match p {
                 Part::Lit(w) => words.push(w),
                 Part::Var { kinds, .. } => {
-                    let n: usize = if kinds.len() == 1 { kinds[0].token_count() } else { 1 };
-                    for _ in 0..n {
-                        words.push("*");
-                    }
+                    let n: usize = if kinds.len() == 1 {
+                        kinds[0].token_count()
+                    } else {
+                        1
+                    };
+                    words.extend(std::iter::repeat_n("*", n));
                 }
             }
         }
@@ -211,13 +213,20 @@ impl Grammar {
                 tail_rate,
             })
             .collect();
-        let by_key = templates.iter().enumerate().map(|(i, t)| (t.key, i)).collect();
+        let by_key = templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.key, i))
+            .collect();
         Grammar { templates, by_key }
     }
 
     /// Fetch a template by key. Panics on unknown keys (emitter bug).
     pub fn get(&self, key: &str) -> &GrammarTemplate {
-        &self.templates[*self.by_key.get(key).unwrap_or_else(|| panic!("no template {key}"))]
+        &self.templates[*self
+            .by_key
+            .get(key)
+            .unwrap_or_else(|| panic!("no template {key}"))]
     }
 
     /// All templates.
@@ -227,7 +236,10 @@ impl Grammar {
 
     /// Templates with a nonzero background rate, with their rates.
     pub fn tail_templates(&self) -> impl Iterator<Item = (&GrammarTemplate, f64)> {
-        self.templates.iter().filter(|t| t.tail_rate > 0.0).map(|t| (t, t.tail_rate))
+        self.templates
+            .iter()
+            .filter(|t| t.tail_rate > 0.0)
+            .map(|t| (t, t.tail_rate))
     }
 
     /// The set of ground-truth masked template strings (§5.2.1 comparison).
@@ -559,41 +571,181 @@ fn catalog_v2() -> Vec<Spec> {
         ),
     ];
     let tail: Vec<(&'static str, ErrorCode, &'static str)> = vec![
-        ("CHASSIS_FAN", c2("CHASSIS", "MAJOR", "fanFailure"), "Fan {num} failure detected in fan tray {num}"),
-        ("CHASSIS_TEMP", c2("CHASSIS", "CRITICAL", "tempThresholdExceeded"), "Temperature {num} C on card {num} exceeds threshold"),
-        ("CHASSIS_PWR", c2("CHASSIS", "CRITICAL", "powerSupplyFailure"), "Power supply {num} failed"),
-        ("CHASSIS_PWR_OK", c2("CHASSIS", "MINOR", "powerSupplyRestored"), "Power supply {num} restored"),
-        ("SYSTEM_CPU", c2("SYSTEM", "MINOR", "cpuHigh"), "System CPU utilization {pct}% exceeds minor threshold"),
-        ("SYSTEM_MEM", c2("SYSTEM", "MINOR", "memHigh"), "Memory pool utilization {pct}% on card {num}"),
-        ("NTP_V2", c2("SYSTEM", "WARNING", "ntpServerUnreachable"), "NTP server {ip} is unreachable"),
-        ("SNMP_AUTH_V2", c2("SNMP", "WARNING", "authenticationFailure"), "SNMP authentication failure from host {ip}"),
-        ("OSPF_V2_DOWN", c2("OSPF", "WARNING", "ospfNbrStateChange"), "OSPF neighbor {ip} on interface {iface} changed state to down"),
-        ("OSPF_V2_UP", c2("OSPF", "WARNING", "ospfNbrStateChangeUp"), "OSPF neighbor {ip} on interface {iface} changed state to full"),
-        ("LDP_V2", c2("LDP", "WARNING", "ldpSessionDown"), "LDP session to {ip} is down reason peerSentNotification"),
-        ("LDP_V2_UP", c2("LDP", "WARNING", "ldpSessionUp"), "LDP session to {ip} is operational"),
-        ("RSVP_V2", c2("RSVP", "WARNING", "rsvpSessionDown"), "RSVP session for LSP {name} is down"),
-        ("FILTER_HIT", c2("FILTER", "WARNING", "filterEntryHit"), "Filter entry {num} matched {num} packets from {ip}"),
-        ("DOT1X", c2("SECURITY", "WARNING", "dot1xAuthFail"), "802.1x authentication failed on port {iface} for supplicant {name}"),
-        ("RADIUS_V2", c2("SECURITY", "MAJOR", "radiusServerTimeout"), "RADIUS server {ip} port {port} request timeout"),
-        ("MDA_SYNC", c2("CHASSIS", "MINOR", "mdaSyncFail"), "MDA {num}/{num} synchronization lost"),
-        ("ACCT_OVERFLOW", c2("SYSTEM", "WARNING", "acctPolicyOverflow"), "Accounting policy {num} record overflow {num} records dropped"),
-        ("SAA_THRESH", c2("SAA", "WARNING", "saaThresholdCrossed"), "SAA test {name} round-trip time {num} ms exceeded rising threshold"),
-        ("VRRP_V2", c2("VRRP", "WARNING", "vrrpStateChange"), "VRRP instance {num} on interface {iface} changed state to backup"),
-        ("CFLOWD_FULL", c2("CFLOWD", "WARNING", "cacheFull"), "Cflowd cache full {num} flows not accounted"),
-        ("PORT_SFP", c2("PORT", "WARNING", "sfpRemoved"), "SFP removed from port {iface}"),
-        ("PORT_SFP_IN", c2("PORT", "WARNING", "sfpInserted"), "SFP inserted in port {iface}"),
-        ("TOD_SUITE", c2("SYSTEM", "INFO", "todSuiteChange"), "Time-of-day suite {name} activated"),
-        ("CRON_RUN", c2("SYSTEM", "INFO", "cronScriptRun"), "CRON script {name} completed with exit code {num}"),
-        ("LOGIN_V2", c2("SECURITY", "INFO", "cliLogin"), "User {user} logged in from {ip}"),
-        ("LOGOUT_V2", c2("SECURITY", "INFO", "cliLogout"), "User {user} logged out from {ip}"),
-        ("CONFIG_V2", c2("SYSTEM", "INFO", "configModify"), "Configuration modified by user {user} from {ip}"),
-        ("IGMP_MAXGRP", c2("IGMP", "WARNING", "maxGroupsReached"), "Maximum IGMP groups {num} reached on interface {iface}"),
-        ("MCPATH_CONG", c2("MCPATH", "WARNING", "pathCongestion"), "Multicast path congestion on interface {iface} channel {ip}"),
-        ("VIDEO_GAP", c2("VIDEO", "WARNING", "rtGapDetected"), "Video gap detected on channel {ip} duration {num} ms"),
-        ("VIDEO_FCC", c2("VIDEO", "INFO", "fccSessionLimit"), "FCC session limit {num} reached on service {num}"),
-        ("PTP_SYNC", c2("PTP", "WARNING", "ptpSyncLost"), "PTP clock sync lost with master {ip}"),
-        ("ROUTE_LIMIT", c2("ROUTER", "WARNING", "routeLimitExceeded"), "VRF {vrf} route limit {num} exceeded"),
-        ("ARP_DUP_V2", c2("ROUTER", "WARNING", "duplicateIp"), "Duplicate IP address {ip} detected on interface {iface}"),
+        (
+            "CHASSIS_FAN",
+            c2("CHASSIS", "MAJOR", "fanFailure"),
+            "Fan {num} failure detected in fan tray {num}",
+        ),
+        (
+            "CHASSIS_TEMP",
+            c2("CHASSIS", "CRITICAL", "tempThresholdExceeded"),
+            "Temperature {num} C on card {num} exceeds threshold",
+        ),
+        (
+            "CHASSIS_PWR",
+            c2("CHASSIS", "CRITICAL", "powerSupplyFailure"),
+            "Power supply {num} failed",
+        ),
+        (
+            "CHASSIS_PWR_OK",
+            c2("CHASSIS", "MINOR", "powerSupplyRestored"),
+            "Power supply {num} restored",
+        ),
+        (
+            "SYSTEM_CPU",
+            c2("SYSTEM", "MINOR", "cpuHigh"),
+            "System CPU utilization {pct}% exceeds minor threshold",
+        ),
+        (
+            "SYSTEM_MEM",
+            c2("SYSTEM", "MINOR", "memHigh"),
+            "Memory pool utilization {pct}% on card {num}",
+        ),
+        (
+            "NTP_V2",
+            c2("SYSTEM", "WARNING", "ntpServerUnreachable"),
+            "NTP server {ip} is unreachable",
+        ),
+        (
+            "SNMP_AUTH_V2",
+            c2("SNMP", "WARNING", "authenticationFailure"),
+            "SNMP authentication failure from host {ip}",
+        ),
+        (
+            "OSPF_V2_DOWN",
+            c2("OSPF", "WARNING", "ospfNbrStateChange"),
+            "OSPF neighbor {ip} on interface {iface} changed state to down",
+        ),
+        (
+            "OSPF_V2_UP",
+            c2("OSPF", "WARNING", "ospfNbrStateChangeUp"),
+            "OSPF neighbor {ip} on interface {iface} changed state to full",
+        ),
+        (
+            "LDP_V2",
+            c2("LDP", "WARNING", "ldpSessionDown"),
+            "LDP session to {ip} is down reason peerSentNotification",
+        ),
+        (
+            "LDP_V2_UP",
+            c2("LDP", "WARNING", "ldpSessionUp"),
+            "LDP session to {ip} is operational",
+        ),
+        (
+            "RSVP_V2",
+            c2("RSVP", "WARNING", "rsvpSessionDown"),
+            "RSVP session for LSP {name} is down",
+        ),
+        (
+            "FILTER_HIT",
+            c2("FILTER", "WARNING", "filterEntryHit"),
+            "Filter entry {num} matched {num} packets from {ip}",
+        ),
+        (
+            "DOT1X",
+            c2("SECURITY", "WARNING", "dot1xAuthFail"),
+            "802.1x authentication failed on port {iface} for supplicant {name}",
+        ),
+        (
+            "RADIUS_V2",
+            c2("SECURITY", "MAJOR", "radiusServerTimeout"),
+            "RADIUS server {ip} port {port} request timeout",
+        ),
+        (
+            "MDA_SYNC",
+            c2("CHASSIS", "MINOR", "mdaSyncFail"),
+            "MDA {num}/{num} synchronization lost",
+        ),
+        (
+            "ACCT_OVERFLOW",
+            c2("SYSTEM", "WARNING", "acctPolicyOverflow"),
+            "Accounting policy {num} record overflow {num} records dropped",
+        ),
+        (
+            "SAA_THRESH",
+            c2("SAA", "WARNING", "saaThresholdCrossed"),
+            "SAA test {name} round-trip time {num} ms exceeded rising threshold",
+        ),
+        (
+            "VRRP_V2",
+            c2("VRRP", "WARNING", "vrrpStateChange"),
+            "VRRP instance {num} on interface {iface} changed state to backup",
+        ),
+        (
+            "CFLOWD_FULL",
+            c2("CFLOWD", "WARNING", "cacheFull"),
+            "Cflowd cache full {num} flows not accounted",
+        ),
+        (
+            "PORT_SFP",
+            c2("PORT", "WARNING", "sfpRemoved"),
+            "SFP removed from port {iface}",
+        ),
+        (
+            "PORT_SFP_IN",
+            c2("PORT", "WARNING", "sfpInserted"),
+            "SFP inserted in port {iface}",
+        ),
+        (
+            "TOD_SUITE",
+            c2("SYSTEM", "INFO", "todSuiteChange"),
+            "Time-of-day suite {name} activated",
+        ),
+        (
+            "CRON_RUN",
+            c2("SYSTEM", "INFO", "cronScriptRun"),
+            "CRON script {name} completed with exit code {num}",
+        ),
+        (
+            "LOGIN_V2",
+            c2("SECURITY", "INFO", "cliLogin"),
+            "User {user} logged in from {ip}",
+        ),
+        (
+            "LOGOUT_V2",
+            c2("SECURITY", "INFO", "cliLogout"),
+            "User {user} logged out from {ip}",
+        ),
+        (
+            "CONFIG_V2",
+            c2("SYSTEM", "INFO", "configModify"),
+            "Configuration modified by user {user} from {ip}",
+        ),
+        (
+            "IGMP_MAXGRP",
+            c2("IGMP", "WARNING", "maxGroupsReached"),
+            "Maximum IGMP groups {num} reached on interface {iface}",
+        ),
+        (
+            "MCPATH_CONG",
+            c2("MCPATH", "WARNING", "pathCongestion"),
+            "Multicast path congestion on interface {iface} channel {ip}",
+        ),
+        (
+            "VIDEO_GAP",
+            c2("VIDEO", "WARNING", "rtGapDetected"),
+            "Video gap detected on channel {ip} duration {num} ms",
+        ),
+        (
+            "VIDEO_FCC",
+            c2("VIDEO", "INFO", "fccSessionLimit"),
+            "FCC session limit {num} reached on service {num}",
+        ),
+        (
+            "PTP_SYNC",
+            c2("PTP", "WARNING", "ptpSyncLost"),
+            "PTP clock sync lost with master {ip}",
+        ),
+        (
+            "ROUTE_LIMIT",
+            c2("ROUTER", "WARNING", "routeLimitExceeded"),
+            "VRF {vrf} route limit {num} exceeded",
+        ),
+        (
+            "ARP_DUP_V2",
+            c2("ROUTER", "WARNING", "duplicateIp"),
+            "Duplicate IP address {ip} detected on interface {iface}",
+        ),
     ];
     for (rank, (key, code, pattern)) in tail.into_iter().enumerate() {
         let rate = 1.0 / (rank as f64 + 2.0).powf(0.7);
@@ -636,12 +788,10 @@ mod tests {
         let g = Grammar::for_vendor(Vendor::V1);
         let t = g.get("BGP_UP");
         let mut vals = vec!["1000:1001".to_owned(), "192.168.32.42".to_owned()];
-        let out = t.render(|k| {
-            match k {
-                VarKind::Ip => vals.pop().unwrap(),
-                VarKind::Vrf => vals.remove(0),
-                other => panic!("unexpected slot {other:?}"),
-            }
+        let out = t.render(|k| match k {
+            VarKind::Ip => vals.pop().unwrap(),
+            VarKind::Vrf => vals.remove(0),
+            other => panic!("unexpected slot {other:?}"),
         });
         assert_eq!(out, "neighbor 192.168.32.42 vpn vrf 1000:1001 Up");
     }
@@ -691,7 +841,10 @@ mod tests {
         assert!(rates.len() > 30);
         let max = rates.iter().cloned().fold(0.0, f64::max);
         let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max / min > 20.0, "tail should be heavy: max={max} min={min}");
+        assert!(
+            max / min > 20.0,
+            "tail should be heavy: max={max} min={min}"
+        );
     }
 
     #[test]

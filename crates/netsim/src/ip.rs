@@ -33,7 +33,14 @@ impl Ipv4 {
 impl fmt::Display for Ipv4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let v = self.0;
-        write!(f, "{}.{}.{}.{}", v >> 24, (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff)
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            v >> 24,
+            (v >> 16) & 0xff,
+            (v >> 8) & 0xff,
+            v & 0xff
+        )
     }
 }
 
@@ -51,7 +58,7 @@ impl IpAllocator {
 
     /// Hand out the next address, skipping `.0` and `.255` host octets so
     /// rendered configs look like real unicast interface addresses.
-    pub fn next(&mut self) -> Ipv4 {
+    pub fn alloc(&mut self) -> Ipv4 {
         loop {
             let v = self.next;
             self.next = self.next.wrapping_add(1);
@@ -80,9 +87,9 @@ mod tests {
     #[test]
     fn allocator_skips_network_and_broadcast_octets() {
         let mut alloc = IpAllocator::new(Ipv4::new(10, 0, 0, 254));
-        let a = alloc.next();
-        let b = alloc.next();
-        let c = alloc.next();
+        let a = alloc.alloc();
+        let b = alloc.alloc();
+        let c = alloc.alloc();
         assert_eq!(a.to_string(), "10.0.0.254");
         assert_eq!(b.to_string(), "10.0.1.1"); // skips .255 and .0
         assert_eq!(c.to_string(), "10.0.1.2");

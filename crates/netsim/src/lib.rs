@@ -35,5 +35,5 @@ pub mod workload;
 pub use dataset::{Dataset, DatasetSpec};
 pub use events::{EventKind, EventSim, GtEvent};
 pub use grammar::{Grammar, GrammarTemplate, VarKind};
-pub use topology::{Topology, TopoSpec};
+pub use topology::{TopoSpec, Topology};
 pub use workload::{Workload, WorkloadSpec};

@@ -7,10 +7,10 @@
 
 use crate::events::EventSim;
 use crate::grammar::Grammar;
+use crate::ip::Ipv4;
 use crate::topology::{
     Controller, EndPoint, IfaceKind, Interface, Link, Router, RouterRole, Topology,
 };
-use crate::ip::Ipv4;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_model::{RawMessage, Timestamp, Vendor};
@@ -78,8 +78,14 @@ pub fn toy_topology() -> Topology {
     Topology {
         routers: vec![r1, r2],
         links: vec![Link {
-            a: EndPoint { router: 0, iface: 2 },
-            b: EndPoint { router: 1, iface: 2 },
+            a: EndPoint {
+                router: 0,
+                iface: 2,
+            },
+            b: EndPoint {
+                router: 1,
+                iface: 2,
+            },
         }],
         bgp_sessions: Vec::new(),
         paths: Vec::new(),
@@ -98,9 +104,7 @@ pub fn toy_table2_messages() -> Vec<RawMessage> {
     let mut push = |ts: Timestamp, router: &str, key: &str, iface: &str| {
         let t = g.get(key);
         let detail = t.render(|_| iface.to_owned());
-        out.push(
-            RawMessage::new(ts, router, t.code.clone(), detail).with_gt(1),
-        );
+        out.push(RawMessage::new(ts, router, t.code.clone(), detail).with_gt(1));
     };
     for (i, state) in ["DOWN", "UP", "DOWN", "UP"].iter().enumerate() {
         let base = t0.plus(i as i64 * 10);
@@ -182,8 +186,19 @@ pub fn pim_case(seed: u64) -> (Topology, Vec<RawMessage>, u64) {
     // Chaff: scattered background messages across the same window.
     for i in 0..200 {
         let router = (i * 7) % topo.routers.len();
-        let keys = ["LOGIN_V2", "SNMP_AUTH_V2", "CHASSIS_FAN", "NTP_V2", "IGMP_QUERY"];
-        sim.background(&mut rng, router, keys[i % keys.len()], t0.plus((i as i64 * 67) % 14_400));
+        let keys = [
+            "LOGIN_V2",
+            "SNMP_AUTH_V2",
+            "CHASSIS_FAN",
+            "NTP_V2",
+            "IGMP_QUERY",
+        ];
+        sim.background(
+            &mut rng,
+            router,
+            keys[i % keys.len()],
+            t0.plus((i as i64 * 67) % 14_400),
+        );
     }
     let mut msgs = sim.msgs;
     sd_model::sort_batch(&mut msgs);
@@ -218,15 +233,23 @@ mod tests {
         let l = &t.links[0];
         let (r1, i1) = t.endpoint(l.a);
         let (r2, i2) = t.endpoint(l.b);
-        assert_eq!((r1.name.as_str(), i1.name.as_str()), ("r1", "Serial1/0.10/10:0"));
-        assert_eq!((r2.name.as_str(), i2.name.as_str()), ("r2", "Serial1/0.20/20:0"));
+        assert_eq!(
+            (r1.name.as_str(), i1.name.as_str()),
+            ("r1", "Serial1/0.10/10:0")
+        );
+        assert_eq!(
+            (r2.name.as_str(), i2.name.as_str()),
+            ("r2", "Serial1/0.20/20:0")
+        );
     }
 
     #[test]
     fn fig4_has_clustered_controller_messages() {
         let (_, msgs) = fig4_controller(3);
-        let ctl: Vec<_> =
-            msgs.iter().filter(|m| m.code.as_str() == "CONTROLLER-5-UPDOWN").collect();
+        let ctl: Vec<_> = msgs
+            .iter()
+            .filter(|m| m.code.as_str() == "CONTROLLER-5-UPDOWN")
+            .collect();
         assert!(ctl.len() >= 24, "got {}", ctl.len());
         // Span multiple hours.
         let span = ctl.last().unwrap().ts.seconds_since(ctl[0].ts);

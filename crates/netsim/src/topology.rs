@@ -272,7 +272,11 @@ impl Topology {
 
         let mut routers: Vec<Router> = Vec::with_capacity(n);
         for i in 0..n {
-            let role = if i < n_core { RouterRole::Core } else { RouterRole::Aggregation };
+            let role = if i < n_core {
+                RouterRole::Core
+            } else {
+                RouterRole::Aggregation
+            };
             let (site, state) = SITES[i % SITES.len()];
             let prefix = match role {
                 RouterRole::Core => "cr",
@@ -287,7 +291,7 @@ impl Topology {
                 state: state.to_owned(),
                 vendor: spec.vendor,
                 role,
-                loopback: loopbacks.next(),
+                loopback: loopbacks.alloc(),
                 slots,
                 ports_per_slot: ports,
                 interfaces: vec![Interface {
@@ -311,39 +315,81 @@ impl Topology {
         let mut links: Vec<Link> = Vec::new();
 
         let connect = |routers: &mut Vec<Router>,
-                           cursor: &mut Vec<(u8, u8)>,
-                           links: &mut Vec<Link>,
-                           rng: &mut StdRng,
-                           link_ips: &mut IpAllocator,
-                           a: usize,
-                           b: usize| {
-            if a == b || links.iter().any(|l| l.peer_of(a).map(|p| p.router) == Some(b)) {
+                       cursor: &mut Vec<(u8, u8)>,
+                       links: &mut Vec<Link>,
+                       rng: &mut StdRng,
+                       link_ips: &mut IpAllocator,
+                       a: usize,
+                       b: usize| {
+            if a == b
+                || links
+                    .iter()
+                    .any(|l| l.peer_of(a).map(|p| p.router) == Some(b))
+            {
                 return;
             }
             let ea = alloc_link_iface(&mut routers[a], &mut cursor[a], rng, link_ips);
             let eb = alloc_link_iface(&mut routers[b], &mut cursor[b], rng, link_ips);
             links.push(Link {
-                a: EndPoint { router: a, iface: ea },
-                b: EndPoint { router: b, iface: eb },
+                a: EndPoint {
+                    router: a,
+                    iface: ea,
+                },
+                b: EndPoint {
+                    router: b,
+                    iface: eb,
+                },
             });
         };
 
         // Core ring plus random chords.
         for i in 0..n_core {
             let j = (i + 1) % n_core;
-            connect(&mut routers, &mut cursor, &mut links, &mut rng, &mut link_ips, i, j);
+            connect(
+                &mut routers,
+                &mut cursor,
+                &mut links,
+                &mut rng,
+                &mut link_ips,
+                i,
+                j,
+            );
         }
         for _ in 0..n_core / 2 {
             let i = rng.gen_range(0..n_core);
             let j = rng.gen_range(0..n_core);
-            connect(&mut routers, &mut cursor, &mut links, &mut rng, &mut link_ips, i, j);
+            connect(
+                &mut routers,
+                &mut cursor,
+                &mut links,
+                &mut rng,
+                &mut link_ips,
+                i,
+                j,
+            );
         }
         // Aggregation routers dual-home to two cores.
         for i in n_core..n {
             let c1 = rng.gen_range(0..n_core);
             let c2 = (c1 + 1 + rng.gen_range(0..n_core.max(2) - 1)) % n_core;
-            connect(&mut routers, &mut cursor, &mut links, &mut rng, &mut link_ips, i, c1);
-            connect(&mut routers, &mut cursor, &mut links, &mut rng, &mut link_ips, i, c2);
+            connect(
+                &mut routers,
+                &mut cursor,
+                &mut links,
+                &mut rng,
+                &mut link_ips,
+                i,
+                c1,
+            );
+            connect(
+                &mut routers,
+                &mut cursor,
+                &mut links,
+                &mut rng,
+                &mut link_ips,
+                i,
+                c2,
+            );
         }
 
         // Controllers (V1): wrap each serial physical port in a controller.
@@ -379,8 +425,12 @@ impl Topology {
                 .take(2)
                 .collect();
             if members.len() == 2 && rng.gen_bool(0.5) {
-                let ip = link_ips.next();
-                r.bundles.push(Bundle { name: "Multilink1".to_owned(), members, ip });
+                let ip = link_ips.alloc();
+                r.bundles.push(Bundle {
+                    name: "Multilink1".to_owned(),
+                    members,
+                    ip,
+                });
             }
         }
 
@@ -425,7 +475,13 @@ impl Topology {
             }
         }
 
-        let mut topo = Topology { routers, links, bgp_sessions, paths: Vec::new(), pim: Vec::new() };
+        let mut topo = Topology {
+            routers,
+            links,
+            bgp_sessions,
+            paths: Vec::new(),
+            pim: Vec::new(),
+        };
 
         // IPTV overlay: a PIM multicast tree spanning *all* routers (BFS
         // over the link graph from router 0), each tree edge protected by
@@ -435,9 +491,13 @@ impl Topology {
         if spec.iptv {
             for (li, l) in topo.links.iter().enumerate() {
                 let (a, b) = (l.a.router, l.b.router);
-                let name =
-                    format!("LSP-{}-{}-pri", topo.routers[a].name, topo.routers[b].name);
-                topo.paths.push(PathRoute { name, from: a, to: b, hops: vec![li] });
+                let name = format!("LSP-{}-{}-pri", topo.routers[a].name, topo.routers[b].name);
+                topo.paths.push(PathRoute {
+                    name,
+                    from: a,
+                    to: b,
+                    hops: vec![li],
+                });
             }
             let n = topo.routers.len();
             let mut parent_of: Vec<Option<usize>> = vec![None; n];
@@ -455,9 +515,11 @@ impl Topology {
                     }
                 }
             }
-            for i in 1..n {
-                let Some(parent) = parent_of[i] else { continue };
-                let Some(primary) = topo.link_between(parent, i) else { continue };
+            for (i, p) in parent_of.iter().enumerate().take(n).skip(1) {
+                let Some(parent) = *p else { continue };
+                let Some(primary) = topo.link_between(parent, i) else {
+                    continue;
+                };
                 // Secondary: parent -> x -> i for some x with both links.
                 let mut secondary = None;
                 let mut order: Vec<usize> = (0..n).collect();
@@ -478,7 +540,12 @@ impl Topology {
                     "LSP-{}-{}-sec",
                     topo.routers[parent].name, topo.routers[i].name
                 );
-                topo.paths.push(PathRoute { name, from: parent, to: i, hops });
+                topo.paths.push(PathRoute {
+                    name,
+                    from: parent,
+                    to: i,
+                    hops,
+                });
                 let secondary_path = topo.paths.len() - 1;
                 topo.pim.push(PimAdjacency {
                     a: parent,
@@ -532,8 +599,11 @@ fn alloc_link_iface(
                         r.interfaces.len() - 1
                     }
                 };
-                let sub = (r.interfaces.iter().filter(|i| i.parent == Some(phys)).count()
-                    as u16
+                let sub = (r
+                    .interfaces
+                    .iter()
+                    .filter(|i| i.parent == Some(phys))
+                    .count() as u16
                     + 1)
                     * 10;
                 let chan = rng.gen_range(1..30u16);
@@ -544,7 +614,7 @@ fn alloc_link_iface(
                     port,
                     sub: Some(sub),
                     parent: Some(phys),
-                    ip: Some(ips.next()),
+                    ip: Some(ips.alloc()),
                     kind: IfaceKind::Serial,
                 });
                 r.interfaces.len() - 1
@@ -563,7 +633,7 @@ fn alloc_link_iface(
                             port,
                             sub: Some(sub),
                             parent: Some(p),
-                            ip: Some(ips.next()),
+                            ip: Some(ips.alloc()),
                             kind: IfaceKind::Ethernet,
                         });
                         r.interfaces.len() - 1
@@ -575,7 +645,7 @@ fn alloc_link_iface(
                             port,
                             sub: None,
                             parent: None,
-                            ip: Some(ips.next()),
+                            ip: Some(ips.alloc()),
                             kind: IfaceKind::Ethernet,
                         });
                         r.interfaces.len() - 1
@@ -596,7 +666,7 @@ fn alloc_link_iface(
                 port,
                 sub: Some(chan),
                 parent: None,
-                ip: Some(ips.next()),
+                ip: Some(ips.alloc()),
                 kind: IfaceKind::PortV2,
             });
             r.interfaces.len() - 1
@@ -609,14 +679,22 @@ mod tests {
     use super::*;
 
     fn spec(vendor: Vendor, iptv: bool) -> TopoSpec {
-        TopoSpec { n_routers: 24, vendor, iptv, seed: 7 }
+        TopoSpec {
+            n_routers: 24,
+            vendor,
+            iptv,
+            seed: 7,
+        }
     }
 
     #[test]
     fn generation_is_deterministic() {
         let a = Topology::generate(&spec(Vendor::V1, false));
         let b = Topology::generate(&spec(Vendor::V1, false));
-        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
     }
 
     #[test]
@@ -634,7 +712,12 @@ mod tests {
         for l in &t.links {
             for ep in [l.a, l.b] {
                 let (r, ifc) = t.endpoint(ep);
-                assert!(ifc.ip.is_some(), "link iface {} on {} lacks ip", ifc.name, r.name);
+                assert!(
+                    ifc.ip.is_some(),
+                    "link iface {} on {} lacks ip",
+                    ifc.name,
+                    r.name
+                );
             }
         }
     }
@@ -656,15 +739,21 @@ mod tests {
     #[test]
     fn v1_controllers_wrap_serial_ports() {
         let t = Topology::generate(&spec(Vendor::V1, false));
-        let with_controllers =
-            t.routers.iter().filter(|r| !r.controllers.is_empty()).count();
+        let with_controllers = t
+            .routers
+            .iter()
+            .filter(|r| !r.controllers.is_empty())
+            .count();
         assert!(with_controllers > 0);
         for r in &t.routers {
             for c in &r.controllers {
                 assert!(!c.children.is_empty());
                 for &ch in &c.children {
                     assert_eq!(r.interfaces[ch].kind, IfaceKind::Serial);
-                    assert_eq!((r.interfaces[ch].slot, r.interfaces[ch].port), (c.slot, c.port));
+                    assert_eq!(
+                        (r.interfaces[ch].slot, r.interfaces[ch].port),
+                        (c.slot, c.port)
+                    );
                 }
             }
         }
@@ -677,7 +766,11 @@ mod tests {
             assert!(r.controllers.is_empty());
             for ifc in &r.interfaces {
                 if ifc.kind == IfaceKind::PortV2 {
-                    assert!(ifc.name.matches('/').count() == 2, "bad V2 name {}", ifc.name);
+                    assert!(
+                        ifc.name.matches('/').count() == 2,
+                        "bad V2 name {}",
+                        ifc.name
+                    );
                 }
             }
         }
@@ -715,8 +808,7 @@ mod tests {
         for vendor in [Vendor::V1, Vendor::V2] {
             let t = Topology::generate(&spec(vendor, false));
             for r in &t.routers {
-                let mut names: Vec<&str> =
-                    r.interfaces.iter().map(|i| i.name.as_str()).collect();
+                let mut names: Vec<&str> = r.interfaces.iter().map(|i| i.name.as_str()).collect();
                 names.sort_unstable();
                 let before = names.len();
                 names.dedup();

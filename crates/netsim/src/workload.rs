@@ -63,14 +63,46 @@ impl WorkloadSpec {
     pub fn mix_v1() -> Vec<KindMix> {
         use EventKind::*;
         vec![
-            KindMix { kind: LinkFlap, weight: 0.30, activation_week: 0 },
-            KindMix { kind: ControllerFlap, weight: 0.10, activation_week: 0 },
-            KindMix { kind: BgpSessionReset, weight: 0.15, activation_week: 0 },
-            KindMix { kind: CpuSpike, weight: 0.12, activation_week: 0 },
-            KindMix { kind: LineCardCrash, weight: 0.03, activation_week: 1 },
-            KindMix { kind: EnvAlarm, weight: 0.06, activation_week: 2 },
-            KindMix { kind: ConfigSession, weight: 0.15, activation_week: 0 },
-            KindMix { kind: TcpBadAuthWave, weight: 0.09, activation_week: 3 },
+            KindMix {
+                kind: LinkFlap,
+                weight: 0.30,
+                activation_week: 0,
+            },
+            KindMix {
+                kind: ControllerFlap,
+                weight: 0.10,
+                activation_week: 0,
+            },
+            KindMix {
+                kind: BgpSessionReset,
+                weight: 0.15,
+                activation_week: 0,
+            },
+            KindMix {
+                kind: CpuSpike,
+                weight: 0.12,
+                activation_week: 0,
+            },
+            KindMix {
+                kind: LineCardCrash,
+                weight: 0.03,
+                activation_week: 1,
+            },
+            KindMix {
+                kind: EnvAlarm,
+                weight: 0.06,
+                activation_week: 2,
+            },
+            KindMix {
+                kind: ConfigSession,
+                weight: 0.15,
+                activation_week: 0,
+            },
+            KindMix {
+                kind: TcpBadAuthWave,
+                weight: 0.09,
+                activation_week: 3,
+            },
         ]
     }
 
@@ -78,12 +110,36 @@ impl WorkloadSpec {
     pub fn mix_v2() -> Vec<KindMix> {
         use EventKind::*;
         vec![
-            KindMix { kind: PortFlap, weight: 0.50, activation_week: 0 },
-            KindMix { kind: PimNeighborLoss, weight: 0.04, activation_week: 0 },
-            KindMix { kind: MplsReroute, weight: 0.12, activation_week: 1 },
-            KindMix { kind: LoginFailureWave, weight: 0.08, activation_week: 4 },
-            KindMix { kind: SvcFlap, weight: 0.18, activation_week: 0 },
-            KindMix { kind: CardFail, weight: 0.08, activation_week: 2 },
+            KindMix {
+                kind: PortFlap,
+                weight: 0.50,
+                activation_week: 0,
+            },
+            KindMix {
+                kind: PimNeighborLoss,
+                weight: 0.04,
+                activation_week: 0,
+            },
+            KindMix {
+                kind: MplsReroute,
+                weight: 0.12,
+                activation_week: 1,
+            },
+            KindMix {
+                kind: LoginFailureWave,
+                weight: 0.08,
+                activation_week: 4,
+            },
+            KindMix {
+                kind: SvcFlap,
+                weight: 0.18,
+                activation_week: 0,
+            },
+            KindMix {
+                kind: CardFail,
+                weight: 0.08,
+                activation_week: 2,
+            },
         ]
     }
 }
@@ -152,8 +208,7 @@ pub fn run(topo: &Topology, grammar: &Grammar, spec: &WorkloadSpec) -> Workload 
 
     let link_weights = flappiness(&mut rng, topo.links.len());
     let router_weights = flappiness(&mut rng, topo.routers.len());
-    let tail: Vec<(&str, f64)> =
-        grammar.tail_templates().map(|(t, r)| (t.key, r)).collect();
+    let tail: Vec<(&str, f64)> = grammar.tail_templates().map(|(t, r)| (t.key, r)).collect();
     let tail_total: f64 = tail.iter().map(|(_, r)| r).sum();
 
     // Periodic timer chatter, one whole-span series per (router, pick).
@@ -176,8 +231,11 @@ pub fn run(topo: &Topology, grammar: &Grammar, spec: &WorkloadSpec) -> Workload 
         let week = (i64::from(day) * DAY / WEEK) as u32;
 
         // --- ground-truth events ---
-        let active: Vec<&KindMix> =
-            spec.mix.iter().filter(|m| m.activation_week <= week).collect();
+        let active: Vec<&KindMix> = spec
+            .mix
+            .iter()
+            .filter(|m| m.activation_week <= week)
+            .collect();
         let weights: Vec<f64> = active.iter().map(|m| m.weight).collect();
         let n_events = poisson(&mut rng, spec.events_per_day);
         for _ in 0..n_events {
@@ -186,7 +244,17 @@ pub fn run(topo: &Topology, grammar: &Grammar, spec: &WorkloadSpec) -> Workload 
             }
             let kind = active[weighted_pick(&mut rng, &weights)].kind;
             let t = day_start.plus(rng.gen_range(0..DAY));
-            dispatch(&mut sim, &mut rng, kind, t, week, spec, &link_weights, &router_weights, vendor);
+            dispatch(
+                &mut sim,
+                &mut rng,
+                kind,
+                t,
+                week,
+                spec,
+                &link_weights,
+                &router_weights,
+                vendor,
+            );
         }
 
         // --- background noise ---
@@ -214,7 +282,10 @@ pub fn run(topo: &Topology, grammar: &Grammar, spec: &WorkloadSpec) -> Workload 
 
     let mut messages = sim.msgs;
     sd_model::sort_batch(&mut messages);
-    Workload { messages, events: sim.events }
+    Workload {
+        messages,
+        events: sim.events,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -410,8 +481,11 @@ mod tests {
         let (topo, grammar, spec) = small_spec(Vendor::V2, 2);
         let w = run(&topo, &grammar, &spec);
         assert!(!w.messages.is_empty());
-        let known: std::collections::HashSet<&str> =
-            grammar.templates().iter().map(|t| t.code.as_str()).collect();
+        let known: std::collections::HashSet<&str> = grammar
+            .templates()
+            .iter()
+            .map(|t| t.code.as_str())
+            .collect();
         for m in &w.messages {
             assert!(known.contains(m.code.as_str()), "alien code {}", m.code);
         }

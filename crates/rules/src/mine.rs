@@ -30,7 +30,10 @@ pub struct MineConfig {
 
 impl Default for MineConfig {
     fn default() -> Self {
-        MineConfig { sp_min: 0.0005, conf_min: 0.8 }
+        MineConfig {
+            sp_min: 0.0005,
+            conf_min: 0.8,
+        }
     }
 }
 
@@ -46,7 +49,10 @@ pub struct RuleSet {
 impl RuleSet {
     /// Build from rules.
     pub fn new(rules: Vec<Rule>) -> Self {
-        let mut s = RuleSet { rules, undirected: HashSet::new() };
+        let mut s = RuleSet {
+            rules,
+            undirected: HashSet::new(),
+        };
         s.rebuild_index();
         s
     }
@@ -105,7 +111,12 @@ pub fn mine(co: &CoOccurrence, cfg: &MineConfig) -> RuleSet {
             let (x, y) = (TemplateId(x), TemplateId(y));
             if let Some(conf) = co.confidence(x, y) {
                 if conf >= cfg.conf_min {
-                    rules.push(Rule { x, y, support: co.support(x), confidence: conf });
+                    rules.push(Rule {
+                        x,
+                        y,
+                        support: co.support(x),
+                        confidence: conf,
+                    });
                 }
             }
         }
@@ -168,7 +179,13 @@ mod tests {
     #[test]
     fn mines_the_reliable_pair_only() {
         let co = CoOccurrence::count(&stream_pairs(), 10);
-        let rs = mine(&co, &MineConfig { sp_min: 0.001, conf_min: 0.8 });
+        let rs = mine(
+            &co,
+            &MineConfig {
+                sp_min: 0.001,
+                conf_min: 0.8,
+            },
+        );
         assert!(rs.related(TemplateId(1), TemplateId(2)));
         // 3 => 1 has high confidence (every 3 closely precedes a 1), but
         // 1 => 3 does not; undirected relatedness still holds.
@@ -181,8 +198,20 @@ mod tests {
     #[test]
     fn conf_min_prunes() {
         let co = CoOccurrence::count(&stream_pairs(), 10);
-        let loose = mine(&co, &MineConfig { sp_min: 0.001, conf_min: 0.5 });
-        let strict = mine(&co, &MineConfig { sp_min: 0.001, conf_min: 0.99 });
+        let loose = mine(
+            &co,
+            &MineConfig {
+                sp_min: 0.001,
+                conf_min: 0.5,
+            },
+        );
+        let strict = mine(
+            &co,
+            &MineConfig {
+                sp_min: 0.001,
+                conf_min: 0.99,
+            },
+        );
         assert!(strict.len() < loose.len());
     }
 
@@ -190,7 +219,13 @@ mod tests {
     fn sp_min_excludes_rare_items() {
         let co = CoOccurrence::count(&stream_pairs(), 10);
         // Template 3 appears in ~1/9 of transactions; a high SPmin excludes it.
-        let rs = mine(&co, &MineConfig { sp_min: 0.5, conf_min: 0.8 });
+        let rs = mine(
+            &co,
+            &MineConfig {
+                sp_min: 0.5,
+                conf_min: 0.8,
+            },
+        );
         assert!(!rs.related(TemplateId(1), TemplateId(3)));
     }
 

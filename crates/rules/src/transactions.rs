@@ -9,7 +9,7 @@
 //! match). One counting pass per window size serves every `(SPmin,
 //! Confmin)` combination, which is what makes the Figure 6/7 sweeps cheap.
 
-use sd_model::{RouterId, TemplateId, Timestamp};
+use sd_model::{par_map, Parallelism, RouterId, TemplateId, Timestamp};
 use std::collections::HashMap;
 
 /// One event in the mining stream: `(time, router, template)`.
@@ -58,19 +58,48 @@ impl CoOccurrence {
 
     /// Count transactions over a time-sorted stream with window `w_secs`.
     pub fn count(stream: &[StreamItem], w_secs: i64) -> CoOccurrence {
+        Self::count_par(stream, w_secs, Parallelism::sequential())
+    }
+
+    /// [`CoOccurrence::count`] with the per-router passes running on
+    /// `par.threads` scoped threads. Windows never span routers, so each
+    /// router's counts are independent; the per-router results are
+    /// sum-merged in sorted router order (all merges are `u64` additions),
+    /// giving counts identical to the sequential pass for every thread
+    /// count.
+    pub fn count_par(stream: &[StreamItem], w_secs: i64, par: Parallelism) -> CoOccurrence {
         // Split per router, preserving time order.
         let mut per_router: HashMap<u32, Vec<(Timestamp, u32)>> = HashMap::new();
         for &(ts, r, t) in stream {
             per_router.entry(r.0).or_default().push((ts, t.0));
         }
-        let mut co = CoOccurrence::default();
         let mut routers: Vec<u32> = per_router.keys().copied().collect();
         routers.sort_unstable();
-        for r in routers {
-            let msgs = &per_router[&r];
+        let shards: Vec<Vec<(Timestamp, u32)>> = routers
+            .iter()
+            .map(|r| per_router.remove(r).expect("router shard"))
+            .collect();
+        let parts = par_map(par, &shards, |_, msgs| {
+            let mut co = CoOccurrence::default();
             co.count_router(msgs, w_secs);
+            co
+        });
+        let mut co = CoOccurrence::default();
+        for p in parts {
+            co.merge(p);
         }
         co
+    }
+
+    /// Add another pass's counts into this one.
+    fn merge(&mut self, other: CoOccurrence) {
+        self.n_transactions += other.n_transactions;
+        for (k, v) in other.item_counts {
+            *self.item_counts.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.pair_counts {
+            *self.pair_counts.entry(k).or_insert(0) += v;
+        }
     }
 
     /// Count one router's stream. A multiset of in-window templates is

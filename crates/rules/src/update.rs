@@ -61,20 +61,20 @@ impl RuleBase {
         let mut to_delete = Vec::new();
         for (key, r) in &self.rules {
             match co.confidence(r.x, r.y) {
-                // Antecedent absent this week: keep (can't judge).
-                None => {}
-                Some(conf) => {
-                    if conf < cfg.conf_min {
-                        to_delete.push(*key);
-                    }
-                }
+                Some(conf) if conf < cfg.conf_min => to_delete.push(*key),
+                // Antecedent absent this week (None): keep — can't judge.
+                _ => {}
             }
         }
         let deleted = to_delete.len();
         for k in to_delete {
             self.rules.remove(&k);
         }
-        UpdateStats { added, deleted, total: self.rules.len() }
+        UpdateStats {
+            added,
+            deleted,
+            total: self.rules.len(),
+        }
     }
 
     /// Snapshot the current rules as a queryable [`RuleSet`].
@@ -116,7 +116,10 @@ mod tests {
             .collect()
     }
 
-    const CFG: MineConfig = MineConfig { sp_min: 0.001, conf_min: 0.8 };
+    const CFG: MineConfig = MineConfig {
+        sp_min: 0.001,
+        conf_min: 0.8,
+    };
 
     #[test]
     fn add_then_stable_then_delete() {
@@ -130,7 +133,10 @@ mod tests {
         assert_eq!(w2.deleted, 0);
         assert_eq!(w2.total, w1.total);
 
-        let w3 = base.update(&CoOccurrence::count(&decorrelated_week(2_000_000), 10), &CFG);
+        let w3 = base.update(
+            &CoOccurrence::count(&decorrelated_week(2_000_000), 10),
+            &CFG,
+        );
         assert!(w3.deleted >= 1, "{w3:?}");
         assert_eq!(w3.total, 0);
     }
@@ -140,7 +146,10 @@ mod tests {
         let mut base = RuleBase::new();
         base.update(&CoOccurrence::count(&correlated_week(0), 10), &CFG);
         let before = base.len();
-        let w = base.update(&CoOccurrence::count(&without_antecedent(1_000_000), 10), &CFG);
+        let w = base.update(
+            &CoOccurrence::count(&without_antecedent(1_000_000), 10),
+            &CFG,
+        );
         assert_eq!(w.deleted, 0, "{w:?}");
         assert_eq!(base.len(), before);
     }

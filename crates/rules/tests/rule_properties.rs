@@ -5,11 +5,7 @@ use sd_model::{RouterId, TemplateId, Timestamp};
 use sd_rules::{mine, CoOccurrence, MineConfig, RuleBase, StreamItem};
 
 fn stream() -> impl Strategy<Value = Vec<StreamItem>> {
-    proptest::collection::vec(
-        (0i64..50_000, 0u32..4, 0u32..8),
-        1..400,
-    )
-    .prop_map(|items| {
+    proptest::collection::vec((0i64..50_000, 0u32..4, 0u32..8), 1..400).prop_map(|items| {
         let mut s: Vec<StreamItem> = items
             .into_iter()
             .map(|(ts, r, t)| (Timestamp(ts), RouterId(r), TemplateId(t)))

@@ -17,7 +17,7 @@
 //! Table 3/4 situation.
 
 use crate::set::{MaskTok, Template, TemplateSet};
-use sd_model::{ErrorCode, RawMessage};
+use sd_model::{par_map, ErrorCode, Parallelism, RawMessage};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -35,12 +35,24 @@ pub struct LearnerConfig {
 
 impl Default for LearnerConfig {
     fn default() -> Self {
-        LearnerConfig { k: 10, max_per_code: 20_000 }
+        LearnerConfig {
+            k: 10,
+            max_per_code: 20_000,
+        }
     }
 }
 
 /// Learn a [`TemplateSet`] from historical raw messages.
 pub fn learn(messages: &[RawMessage], config: &LearnerConfig) -> TemplateSet {
+    learn_par(messages, config, Parallelism::sequential())
+}
+
+/// [`learn`] with the per-`(code, token count)` sub-type trees built on
+/// `par.threads` scoped threads. Each bucket's tree is independent and the
+/// per-bucket template lists are concatenated in sorted key order (then
+/// canonicalized by [`TemplateSet::from_templates`]), so the learned set
+/// is identical for every thread count.
+pub fn learn_par(messages: &[RawMessage], config: &LearnerConfig, par: Parallelism) -> TemplateSet {
     // Bucket detail token-vectors by (code, token count).
     let mut buckets: HashMap<(ErrorCode, usize), Vec<Vec<&str>>> = HashMap::new();
     let mut counts: HashMap<ErrorCode, usize> = HashMap::new();
@@ -48,29 +60,42 @@ pub fn learn(messages: &[RawMessage], config: &LearnerConfig) -> TemplateSet {
         let c = counts.entry(m.code.clone()).or_insert(0);
         *c += 1;
         let toks: Vec<&str> = m.detail.split_whitespace().collect();
-        buckets.entry((m.code.clone(), toks.len())).or_default().push(toks);
+        buckets
+            .entry((m.code.clone(), toks.len()))
+            .or_default()
+            .push(toks);
     }
 
-    let mut templates: Vec<Template> = Vec::new();
-    // Deterministic order: sort bucket keys.
+    // One work item per (code, token count) bucket with its sampled
+    // token-vectors.
+    type Bucket<'a> = ((ErrorCode, usize), Vec<Vec<&'a str>>);
+    // Deterministic order: sort bucket keys, sampling each bucket up front.
     let mut keys: Vec<(ErrorCode, usize)> = buckets.keys().cloned().collect();
     keys.sort();
-    for key in keys {
-        let mut msgs = buckets.remove(&key).expect("bucket exists");
-        let total_for_code = counts[&key.0];
-        if total_for_code > config.max_per_code {
-            // Stride-sample to the cap, preserving time spread.
-            let keep = (config.max_per_code * msgs.len() / total_for_code).max(64);
-            if msgs.len() > keep {
-                let stride = msgs.len() / keep;
-                msgs = msgs.into_iter().step_by(stride.max(1)).collect();
+    let work: Vec<Bucket<'_>> = keys
+        .into_iter()
+        .map(|key| {
+            let mut msgs = buckets.remove(&key).expect("bucket exists");
+            let total_for_code = counts[&key.0];
+            if total_for_code > config.max_per_code {
+                // Stride-sample to the cap, preserving time spread.
+                let keep = (config.max_per_code * msgs.len() / total_for_code).max(64);
+                if msgs.len() > keep {
+                    let stride = msgs.len() / keep;
+                    msgs = msgs.into_iter().step_by(stride.max(1)).collect();
+                }
             }
-        }
-        let len = key.1;
+            (key, msgs)
+        })
+        .collect();
+
+    let per_bucket: Vec<Vec<Template>> = par_map(par, &work, |_, (key, msgs)| {
+        let mut out = Vec::new();
         let idx: Vec<usize> = (0..msgs.len()).collect();
-        split_node(&key.0, &msgs, idx, vec![None; len], config, &mut templates);
-    }
-    TemplateSet::from_templates(templates)
+        split_node(&key.0, msgs, idx, vec![None; key.1], config, &mut out);
+        out
+    });
+    TemplateSet::from_templates(per_bucket.concat())
 }
 
 /// Recursively split one tree node.
@@ -153,7 +178,10 @@ fn emit(code: &ErrorCode, pattern: &[Option<String>], out: &mut Vec<Template>, m
             None => MaskTok::Star,
         })
         .collect();
-    out.push(Template { code: code.clone(), toks });
+    out.push(Template {
+        code: code.clone(),
+        toks,
+    });
 }
 
 #[cfg(test)]
@@ -191,7 +219,13 @@ mod tests {
             }
         }
         // k below the 4 distinct values per var field forces masking.
-        let set = learn(&msgs, &LearnerConfig { k: 3, max_per_code: 1000 });
+        let set = learn(
+            &msgs,
+            &LearnerConfig {
+                k: 3,
+                max_per_code: 1000,
+            },
+        );
         let mut masked: Vec<String> = set.iter().map(|(_, t)| t.masked()).collect();
         masked.sort();
         assert_eq!(
@@ -266,10 +300,22 @@ mod tests {
     fn sampling_cap_still_learns_the_template() {
         let mut msgs = Vec::new();
         for i in 0..5000 {
-            msgs.push(msg("L-2-M", &format!("link {i} status degraded code {}", i % 977)));
+            msgs.push(msg(
+                "L-2-M",
+                &format!("link {i} status degraded code {}", i % 977),
+            ));
         }
-        let set = learn(&msgs, &LearnerConfig { k: 10, max_per_code: 500 });
+        let set = learn(
+            &msgs,
+            &LearnerConfig {
+                k: 10,
+                max_per_code: 500,
+            },
+        );
         let masked: Vec<String> = set.iter().map(|(_, t)| t.masked()).collect();
-        assert_eq!(masked, vec!["L-2-M link * status degraded code *".to_owned()]);
+        assert_eq!(
+            masked,
+            vec!["L-2-M link * status degraded code *".to_owned()]
+        );
     }
 }

@@ -13,6 +13,6 @@
 pub mod learner;
 pub mod set;
 
-pub use learner::{learn, LearnerConfig};
-pub use set::{MaskTok, Template, TemplateSet};
+pub use learner::{learn, learn_par, LearnerConfig};
 pub use sd_model::TemplateId;
+pub use set::{MaskTok, Template, TemplateSet, TokenScratch};

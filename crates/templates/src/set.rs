@@ -42,7 +42,10 @@ impl Template {
 
     /// Number of fixed (non-star) tokens — the match-specificity rank.
     pub fn specificity(&self) -> usize {
-        self.toks.iter().filter(|t| matches!(t, MaskTok::Word(_))).count()
+        self.toks
+            .iter()
+            .filter(|t| matches!(t, MaskTok::Word(_)))
+            .count()
     }
 
     /// Whether `detail_toks` matches this template.
@@ -62,6 +65,65 @@ impl Template {
             .filter_map(|(t, d)| matches!(t, MaskTok::Star).then_some(*d))
             .collect()
     }
+
+    /// [`Template::matches`] against tokens given as byte spans of
+    /// `detail` (see [`TokenScratch`]) — no token vector required.
+    pub fn matches_spans(&self, detail: &str, spans: &[(u32, u32)]) -> bool {
+        self.toks.len() == spans.len()
+            && self.toks.iter().zip(spans).all(|(t, &(a, b))| match t {
+                MaskTok::Word(w) => w == &detail[a as usize..b as usize],
+                MaskTok::Star => true,
+            })
+    }
+}
+
+/// Reusable whitespace-tokenizer scratch. Tokens are stored as byte spans
+/// into the tokenized string, so a single buffer serves every message of a
+/// batch with no per-message allocation (the matcher's hot path).
+#[derive(Debug, Default)]
+pub struct TokenScratch {
+    spans: Vec<(u32, u32)>,
+}
+
+impl TokenScratch {
+    /// Empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenize `s` exactly as `str::split_whitespace` would, replacing
+    /// the previous contents; returns the token count.
+    pub fn tokenize(&mut self, s: &str) -> usize {
+        self.spans.clear();
+        let base = s.as_ptr() as usize;
+        for tok in s.split_whitespace() {
+            let start = (tok.as_ptr() as usize - base) as u32;
+            self.spans.push((start, start + tok.len() as u32));
+        }
+        self.spans.len()
+    }
+
+    /// Number of tokens from the last `tokenize`.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the last tokenized string had no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The token byte spans.
+    pub fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
+    /// Iterate the tokens of `s` (the string last passed to `tokenize`).
+    pub fn tokens<'a, 's: 'a>(&'a self, s: &'s str) -> impl Iterator<Item = &'s str> + 'a {
+        self.spans
+            .iter()
+            .map(move |&(a, b)| &s[a as usize..b as usize])
+    }
 }
 
 impl fmt::Display for Template {
@@ -70,34 +132,73 @@ impl fmt::Display for Template {
     }
 }
 
-/// A set of learned templates with an id space and a `(code, len)` index
-/// for O(candidates) matching.
+/// A set of learned templates with an id space and a two-level
+/// code → token-count index for O(candidates) matching. The outer level is
+/// keyed by the code *string* so lookups borrow the incoming message's
+/// code (`index.get(code.as_str())`) instead of cloning an [`ErrorCode`]
+/// per probe.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "TemplateSetData")]
 pub struct TemplateSet {
     templates: Vec<Template>,
     #[serde(skip)]
-    index: HashMap<(ErrorCode, usize), Vec<u32>>,
+    index: HashMap<String, HashMap<usize, Vec<u32>>>,
+}
+
+/// Serialized form of [`TemplateSet`]; deserializing converts through this
+/// so the match index is rebuilt automatically.
+#[derive(Deserialize)]
+struct TemplateSetData {
+    templates: Vec<Template>,
+}
+
+impl From<TemplateSetData> for TemplateSet {
+    fn from(data: TemplateSetData) -> Self {
+        let mut set = TemplateSet {
+            templates: data.templates,
+            index: HashMap::new(),
+        };
+        set.rebuild_index();
+        set
+    }
 }
 
 impl TemplateSet {
     /// Build from learned templates, deduplicating identical patterns.
     pub fn from_templates(mut templates: Vec<Template>) -> Self {
-        templates.sort_by(|a, b| a.code.cmp(&b.code).then_with(|| a.masked().cmp(&b.masked())));
+        templates.sort_by(|a, b| {
+            a.code
+                .cmp(&b.code)
+                .then_with(|| a.masked().cmp(&b.masked()))
+        });
         templates.dedup();
-        let mut set = TemplateSet { templates, index: HashMap::new() };
+        let mut set = TemplateSet {
+            templates,
+            index: HashMap::new(),
+        };
         set.rebuild_index();
         set
     }
 
-    /// Rebuild the lookup index (needed after deserialization).
+    /// Rebuild the lookup index. Deserialization already does this;
+    /// calling it again is harmless (kept for compatibility with callers
+    /// written against the old manual-rebuild contract).
     pub fn rebuild_index(&mut self) {
         self.index.clear();
         for (i, t) in self.templates.iter().enumerate() {
-            self.index.entry((t.code.clone(), t.toks.len())).or_default().push(i as u32);
+            self.index
+                .entry(t.code.as_str().to_owned())
+                .or_default()
+                .entry(t.toks.len())
+                .or_default()
+                .push(i as u32);
         }
         // Most specific candidates first, so the first match wins.
-        for cands in self.index.values_mut() {
-            cands.sort_by_key(|&i| std::cmp::Reverse(self.templates[i as usize].specificity()));
+        let templates = &self.templates;
+        for by_len in self.index.values_mut() {
+            for cands in by_len.values_mut() {
+                cands.sort_by_key(|&i| std::cmp::Reverse(templates[i as usize].specificity()));
+            }
         }
     }
 
@@ -113,7 +214,10 @@ impl TemplateSet {
 
     /// Iterate `(id, template)` in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TemplateId, &Template)> {
-        self.templates.iter().enumerate().map(|(i, t)| (TemplateId(i as u32), t))
+        self.templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TemplateId(i as u32), t))
     }
 
     /// The template for `id` (panics on a foreign id).
@@ -124,16 +228,32 @@ impl TemplateSet {
     /// Match a message against the set, returning the most specific
     /// matching template.
     pub fn match_message(&self, m: &RawMessage) -> Option<TemplateId> {
-        let toks: Vec<&str> = m.detail.split_whitespace().collect();
-        self.match_detail(&m.code, &toks)
+        self.match_with(&m.code, &m.detail, &mut TokenScratch::new())
     }
 
     /// Match `(code, detail tokens)` against the set.
     pub fn match_detail(&self, code: &ErrorCode, toks: &[&str]) -> Option<TemplateId> {
-        let cands = self.index.get(&(code.clone(), toks.len()))?;
+        let cands = self.index.get(code.as_str())?.get(&toks.len())?;
         cands
             .iter()
             .find(|&&i| self.templates[i as usize].matches(toks))
+            .map(|&i| TemplateId(i))
+    }
+
+    /// Allocation-free variant of [`TemplateSet::match_detail`]: tokenizes
+    /// `detail` into the caller's reusable `scratch` and matches via byte
+    /// spans, so a batch loop performs no per-message allocation here.
+    pub fn match_with(
+        &self,
+        code: &ErrorCode,
+        detail: &str,
+        scratch: &mut TokenScratch,
+    ) -> Option<TemplateId> {
+        scratch.tokenize(detail);
+        let cands = self.index.get(code.as_str())?.get(&scratch.len())?;
+        cands
+            .iter()
+            .find(|&&i| self.templates[i as usize].matches_spans(detail, scratch.spans()))
             .map(|&i| TemplateId(i))
     }
 
@@ -150,7 +270,9 @@ impl TemplateSet {
         let relevant: Vec<&String> = ground_truth
             .iter()
             .filter(|g| {
-                g.split_whitespace().next().is_some_and(|c| seen_codes.contains(c))
+                g.split_whitespace()
+                    .next()
+                    .is_some_and(|c| seen_codes.contains(c))
             })
             .collect();
         if relevant.is_empty() {
@@ -213,13 +335,11 @@ mod tests {
     #[test]
     fn no_match_on_unknown_code_or_wrong_shape() {
         let set = set_of(&[("C-1-M", "a * c")]);
-        let wrong_code =
-            RawMessage::new(Timestamp(0), "r", ErrorCode::from("X-1-Y"), "a b c");
+        let wrong_code = RawMessage::new(Timestamp(0), "r", ErrorCode::from("X-1-Y"), "a b c");
         assert!(set.match_message(&wrong_code).is_none());
         let wrong_len = RawMessage::new(Timestamp(0), "r", ErrorCode::from("C-1-M"), "a b");
         assert!(set.match_message(&wrong_len).is_none());
-        let wrong_word =
-            RawMessage::new(Timestamp(0), "r", ErrorCode::from("C-1-M"), "a b d");
+        let wrong_word = RawMessage::new(Timestamp(0), "r", ErrorCode::from("C-1-M"), "a b d");
         assert!(set.match_message(&wrong_word).is_none());
     }
 
@@ -238,21 +358,59 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_rebuilds_index() {
+    fn serde_roundtrip_rebuilds_index_automatically() {
         let set = set_of(&[("C-1-M", "a * c"), ("D-2-N", "x y *")]);
         let json = serde_json::to_string(&set).unwrap();
-        let mut back: TemplateSet = serde_json::from_str(&json).unwrap();
-        back.rebuild_index();
+        // No manual rebuild_index(): deserialization restores the index.
+        let back: TemplateSet = serde_json::from_str(&json).unwrap();
         let m = RawMessage::new(Timestamp(0), "r", ErrorCode::from("D-2-N"), "x y 9");
         assert!(back.match_message(&m).is_some());
+    }
+
+    #[test]
+    fn span_matching_agrees_with_token_matching() {
+        let set = set_of(&[
+            ("C-1-M", "status * changed"),
+            ("C-1-M", "status error changed"),
+            ("D-2-N", "x y *"),
+        ]);
+        let mut scratch = TokenScratch::new();
+        for (code, detail) in [
+            ("C-1-M", "status error changed"),
+            ("C-1-M", "status warn changed"),
+            ("C-1-M", "status  warn\tchanged"), // odd whitespace
+            ("C-1-M", "status warn"),
+            ("D-2-N", "x y anything"),
+            ("E-0-Z", "x y anything"),
+        ] {
+            let code = ErrorCode::from(code);
+            let toks: Vec<&str> = detail.split_whitespace().collect();
+            assert_eq!(
+                set.match_with(&code, detail, &mut scratch),
+                set.match_detail(&code, &toks),
+                "code {code:?} detail {detail:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn token_scratch_mirrors_split_whitespace() {
+        let mut scratch = TokenScratch::new();
+        for s in ["", "  ", "a", " a  bb\tccc \n d "] {
+            let n = scratch.tokenize(s);
+            let expect: Vec<&str> = s.split_whitespace().collect();
+            assert_eq!(n, expect.len());
+            assert_eq!(scratch.tokens(s).collect::<Vec<_>>(), expect);
+            assert_eq!(scratch.is_empty(), expect.is_empty());
+        }
     }
 
     #[test]
     fn accuracy_counts_only_seen_codes() {
         let set = set_of(&[("C-1-M", "a * c")]);
         let gt = vec![
-            "C-1-M a * c".to_owned(),       // hit
-            "C-1-M a * d".to_owned(),       // miss (same code)
+            "C-1-M a * c".to_owned(),        // hit
+            "C-1-M a * d".to_owned(),        // miss (same code)
             "NEVER-1-SEEN x y z".to_owned(), // excluded: code never learned
         ];
         let acc = set.accuracy_against(&gt);

@@ -11,11 +11,19 @@ fn corpus() -> impl Strategy<Value = Vec<RawMessage>> {
         let (code, detail) = match code {
             0 => (
                 "LINK-3-UPDOWN",
-                format!("Interface Serial{val_a}/0, changed state to {}",
-                    if val_b % 2 == 0 { "down" } else { "up" }),
+                format!(
+                    "Interface Serial{val_a}/0, changed state to {}",
+                    if val_b % 2 == 0 { "down" } else { "up" }
+                ),
             ),
-            1 => ("SYS-2-MALLOC", format!("Memory allocation of {val_a} bytes failed at level {val_b}")),
-            _ => ("AAA-3-TIMEOUT", format!("server 10.0.{}.{} timed out", val_a % 250, val_b % 250)),
+            1 => (
+                "SYS-2-MALLOC",
+                format!("Memory allocation of {val_a} bytes failed at level {val_b}"),
+            ),
+            _ => (
+                "AAA-3-TIMEOUT",
+                format!("server 10.0.{}.{} timed out", val_a % 250, val_b % 250),
+            ),
         };
         RawMessage::new(Timestamp(0), "r1", ErrorCode::from(code), detail)
     });

@@ -7,7 +7,7 @@
 //! defaults used online.
 
 use crate::ewma::{count_groups, TemporalConfig};
-use sd_model::Timestamp;
+use sd_model::{par_map, Parallelism, Timestamp};
 
 /// A collection of per-key timestamp series (one per
 /// `(router, template, location)` in the driver).
@@ -29,24 +29,49 @@ pub fn compression_ratio(series: &SeriesSet, cfg: &TemporalConfig) -> f64 {
 
 /// Sweep α at fixed β, returning `(alpha, ratio)` pairs (Figure 10).
 pub fn sweep_alpha(series: &SeriesSet, alphas: &[f64], beta: f64) -> Vec<(f64, f64)> {
-    alphas
-        .iter()
-        .map(|&alpha| {
-            let cfg = TemporalConfig { alpha, beta, ..TemporalConfig::default() };
-            (alpha, compression_ratio(series, &cfg))
-        })
-        .collect()
+    sweep_alpha_par(series, alphas, beta, Parallelism::sequential())
+}
+
+/// [`sweep_alpha`] with the grid points evaluated on `par.threads` scoped
+/// threads. Every point is an independent pass over `series`, so results
+/// are identical for every thread count.
+pub fn sweep_alpha_par(
+    series: &SeriesSet,
+    alphas: &[f64],
+    beta: f64,
+    par: Parallelism,
+) -> Vec<(f64, f64)> {
+    par_map(par, alphas, |_, &alpha| {
+        let cfg = TemporalConfig {
+            alpha,
+            beta,
+            ..TemporalConfig::default()
+        };
+        (alpha, compression_ratio(series, &cfg))
+    })
 }
 
 /// Sweep β at fixed α, returning `(beta, ratio)` pairs (Figure 11).
 pub fn sweep_beta(series: &SeriesSet, betas: &[f64], alpha: f64) -> Vec<(f64, f64)> {
-    betas
-        .iter()
-        .map(|&beta| {
-            let cfg = TemporalConfig { alpha, beta, ..TemporalConfig::default() };
-            (beta, compression_ratio(series, &cfg))
-        })
-        .collect()
+    sweep_beta_par(series, betas, alpha, Parallelism::sequential())
+}
+
+/// [`sweep_beta`] with the grid points evaluated on `par.threads` scoped
+/// threads; see [`sweep_alpha_par`].
+pub fn sweep_beta_par(
+    series: &SeriesSet,
+    betas: &[f64],
+    alpha: f64,
+    par: Parallelism,
+) -> Vec<(f64, f64)> {
+    par_map(par, betas, |_, &beta| {
+        let cfg = TemporalConfig {
+            alpha,
+            beta,
+            ..TemporalConfig::default()
+        };
+        (beta, compression_ratio(series, &cfg))
+    })
 }
 
 /// Full calibration: pick the α minimizing the ratio at β = 2, then the
@@ -54,14 +79,28 @@ pub fn sweep_beta(series: &SeriesSet, betas: &[f64], alpha: f64) -> Vec<(f64, f6
 /// less than `knee` relatively — the paper's "improvement of compression
 /// diminishes" rule that selected β = 5.
 pub fn calibrate(series: &SeriesSet, alphas: &[f64], betas: &[f64], knee: f64) -> TemporalConfig {
-    let by_alpha = sweep_alpha(series, alphas, 2.0);
+    calibrate_par(series, alphas, betas, knee, Parallelism::sequential())
+}
+
+/// [`calibrate`] with both sweeps parallelized over their grid points.
+/// The α sweep and the β sweep stay sequential relative to each other
+/// (β's grid depends on the chosen α), and the picked parameters are
+/// identical for every thread count.
+pub fn calibrate_par(
+    series: &SeriesSet,
+    alphas: &[f64],
+    betas: &[f64],
+    knee: f64,
+    par: Parallelism,
+) -> TemporalConfig {
+    let by_alpha = sweep_alpha_par(series, alphas, 2.0, par);
     let alpha = by_alpha
         .iter()
         .copied()
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(a, _)| a)
         .unwrap_or(0.05);
-    let by_beta = sweep_beta(series, betas, alpha);
+    let by_beta = sweep_beta_par(series, betas, alpha, par);
     let mut beta = by_beta.last().map(|(b, _)| *b).unwrap_or(5.0);
     for w in by_beta.windows(2) {
         let (b0, r0) = w[0];
@@ -71,7 +110,11 @@ pub fn calibrate(series: &SeriesSet, alphas: &[f64], betas: &[f64], knee: f64) -
             break;
         }
     }
-    TemporalConfig { alpha, beta, ..TemporalConfig::default() }
+    TemporalConfig {
+        alpha,
+        beta,
+        ..TemporalConfig::default()
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +161,10 @@ mod tests {
         let series = jittery_series(4);
         let swept = sweep_beta(&series, &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 0.05);
         for w in swept.windows(2) {
-            assert!(w[1].1 <= w[0].1 + 1e-12, "beta sweep not monotone: {swept:?}");
+            assert!(
+                w[1].1 <= w[0].1 + 1e-12,
+                "beta sweep not monotone: {swept:?}"
+            );
         }
     }
 
@@ -137,15 +183,19 @@ mod tests {
 
     #[test]
     fn empty_series_set_is_zero_ratio() {
-        assert_eq!(compression_ratio(&Vec::new(), &TemporalConfig::default()), 0.0);
+        assert_eq!(
+            compression_ratio(&Vec::new(), &TemporalConfig::default()),
+            0.0
+        );
         let cfg = calibrate(&Vec::new(), &[0.05], &[2.0, 5.0], 0.02);
         assert_eq!(cfg.alpha, 0.05);
     }
 
     #[test]
     fn perfect_periodic_series_compress_fully() {
-        let series: SeriesSet =
-            (0..3).map(|_| (0..100).map(|i| t(i * 120)).collect()).collect();
+        let series: SeriesSet = (0..3)
+            .map(|_| (0..100).map(|i| t(i * 120)).collect())
+            .collect();
         let r = compression_ratio(&series, &TemporalConfig::default());
         assert!((r - 3.0 / 300.0).abs() < 1e-9, "ratio {r}");
     }

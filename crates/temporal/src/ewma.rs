@@ -28,12 +28,22 @@ pub struct TemporalConfig {
 impl TemporalConfig {
     /// Table 6 defaults for dataset A.
     pub fn dataset_a() -> Self {
-        TemporalConfig { alpha: 0.05, beta: 5.0, s_min: 1, s_max: 3 * 3600 }
+        TemporalConfig {
+            alpha: 0.05,
+            beta: 5.0,
+            s_min: 1,
+            s_max: 3 * 3600,
+        }
     }
 
     /// Table 6 defaults for dataset B.
     pub fn dataset_b() -> Self {
-        TemporalConfig { alpha: 0.075, beta: 5.0, s_min: 1, s_max: 3 * 3600 }
+        TemporalConfig {
+            alpha: 0.075,
+            beta: 5.0,
+            s_min: 1,
+            s_max: 3 * 3600,
+        }
     }
 }
 
@@ -128,7 +138,12 @@ mod tests {
     }
 
     fn cfg(alpha: f64, beta: f64) -> TemporalConfig {
-        TemporalConfig { alpha, beta, s_min: 1, s_max: 3 * 3600 }
+        TemporalConfig {
+            alpha,
+            beta,
+            s_min: 1,
+            s_max: 3 * 3600,
+        }
     }
 
     #[test]

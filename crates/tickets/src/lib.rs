@@ -59,7 +59,10 @@ pub fn generate_tickets(data: &Dataset, seed: u64) -> Vec<Ticket> {
         std::collections::HashMap::new();
     for m in data.online() {
         if let Some(gt) = m.gt_event {
-            alarms.entry(gt).or_default().push((m.ts, m.router.as_str()));
+            alarms
+                .entry(gt)
+                .or_default()
+                .push((m.ts, m.router.as_str()));
         }
     }
     let state_of: std::collections::HashMap<&str, &str> = data
@@ -72,7 +75,9 @@ pub fn generate_tickets(data: &Dataset, seed: u64) -> Vec<Ticket> {
     let mut out = Vec::new();
     let mut case_id = 50_000u64;
     for ev in &data.gt_events {
-        let Some(evt_alarms) = alarms.get(&ev.id) else { continue };
+        let Some(evt_alarms) = alarms.get(&ev.id) else {
+            continue;
+        };
         let p = (ev.importance - 0.25).clamp(0.0, 0.9);
         if !rng.gen_bool(p) {
             continue;
@@ -105,7 +110,11 @@ pub fn generate_tickets(data: &Dataset, seed: u64) -> Vec<Ticket> {
 /// Top `n` tickets by update count (the paper's importance proxy).
 pub fn top_tickets(tickets: &[Ticket], n: usize) -> Vec<&Ticket> {
     let mut sorted: Vec<&Ticket> = tickets.iter().collect();
-    sorted.sort_by(|a, b| b.n_updates().cmp(&a.n_updates()).then(a.case_id.cmp(&b.case_id)));
+    sorted.sort_by(|a, b| {
+        b.n_updates()
+            .cmp(&a.n_updates())
+            .then(a.case_id.cmp(&b.case_id))
+    });
     sorted.truncate(n);
     sorted
 }
@@ -117,7 +126,10 @@ pub fn matches(k: &DomainKnowledge, ticket: &Ticket, event: &NetworkEvent) -> bo
     if ticket.created < event.start || ticket.created > event.end {
         return false;
     }
-    event.routers.iter().any(|r| k.dict.state_of(*r) == ticket.state)
+    event
+        .routers
+        .iter()
+        .any(|r| k.dict.state_of(*r) == ticket.state)
 }
 
 /// Result of correlating top tickets with a ranked digest.
@@ -250,11 +262,7 @@ mod tests {
         assert!(report.n_matched_top >= 1, "ranks {:?}", report.best_ranks);
         let mut ranks = report.best_ranks.clone();
         ranks.sort_unstable();
-        let dg = syslogdigest::digest(
-            &k,
-            d.online(),
-            &syslogdigest::GroupingConfig::default(),
-        );
+        let dg = syslogdigest::digest(&k, d.online(), &syslogdigest::GroupingConfig::default());
         assert!(
             ranks[ranks.len() / 2] <= dg.events.len() / 2,
             "median rank {} of {}",
@@ -296,7 +304,10 @@ mod tests {
         };
         assert!(!matches(&k, t, &late));
         // Right time + right state.
-        let good = NetworkEvent { routers: vec![rid], ..ev_template };
+        let good = NetworkEvent {
+            routers: vec![rid],
+            ..ev_template
+        };
         assert!(matches(&k, t, &good));
     }
 }

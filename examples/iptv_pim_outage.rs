@@ -34,18 +34,38 @@ fn main() {
     let t0 = Timestamp::from_ymd_hms(2009, 12, 20, 12, 0, 0);
     sim.pim_neighbor_loss(&mut rng, 0, t0);
     let gt = sim.events[0].id;
-    let keys = ["LOGIN_V2", "SNMP_AUTH_V2", "CHASSIS_FAN", "NTP_V2", "IGMP_QUERY", "CRON_RUN"];
+    let keys = [
+        "LOGIN_V2",
+        "SNMP_AUTH_V2",
+        "CHASSIS_FAN",
+        "NTP_V2",
+        "IGMP_QUERY",
+        "CRON_RUN",
+    ];
     for i in 0..400usize {
         let router = (i * 7) % data.topology.routers.len();
-        sim.background(&mut rng, router, keys[i % keys.len()], t0.plus((i as i64 * 53) % 21_600));
+        sim.background(
+            &mut rng,
+            router,
+            keys[i % keys.len()],
+            t0.plus((i as i64 * 53) % 21_600),
+        );
     }
     let mut msgs = sim.msgs;
     sort_batch(&mut msgs);
     let cascade = msgs.iter().filter(|m| m.gt_event == Some(gt)).count();
-    println!("  {} messages in the window, {} belong to the outage", msgs.len(), cascade);
+    println!(
+        "  {} messages in the window, {} belong to the outage",
+        msgs.len(),
+        cascade
+    );
 
     let report = digest(&knowledge, &msgs, &GroupingConfig::default());
-    println!("digest: {} events from {} messages\n", report.events.len(), report.n_input);
+    println!(
+        "digest: {} events from {} messages\n",
+        report.events.len(),
+        report.n_input
+    );
 
     // The pieces of the outage, largest first.
     let mut pieces: Vec<(&syslogdigest_repro::digest::NetworkEvent, usize)> = report
@@ -64,8 +84,11 @@ fn main() {
 
     println!("the outage as the operator sees it (largest pieces):");
     for (e, _) in pieces.iter().take(3) {
-        let codes: std::collections::BTreeSet<&str> =
-            e.message_idxs.iter().map(|&i| msgs[i].code.as_str()).collect();
+        let codes: std::collections::BTreeSet<&str> = e
+            .message_idxs
+            .iter()
+            .map(|&i| msgs[i].code.as_str())
+            .collect();
         println!("  {}", e.format_line());
         println!(
             "    {} msgs | {} routers | codes: {}",
@@ -82,7 +105,10 @@ fn main() {
         .iter()
         .filter(|m| m.code.as_str().contains("lspPathRetry"))
         .collect();
-    println!("\nsmoking gun: {} secondary-path setup retries, ~5 minutes apart:", retries.len());
+    println!(
+        "\nsmoking gun: {} secondary-path setup retries, ~5 minutes apart:",
+        retries.len()
+    );
     for m in retries.iter().take(3) {
         println!("  {}", m.to_line());
     }

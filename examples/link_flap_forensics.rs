@@ -41,7 +41,13 @@ fn main() {
     let flap_id = sim.events[0].id;
     for i in 0..300u32 {
         let router = (i as usize * 5) % data.topology.routers.len();
-        let keys = ["CONFIG_I", "SNMP_AUTHFAIL", "NTP_UNSYNC", "MEM_LOW", "ACL_DENY"];
+        let keys = [
+            "CONFIG_I",
+            "SNMP_AUTHFAIL",
+            "NTP_UNSYNC",
+            "MEM_LOW",
+            "ACL_DENY",
+        ];
         sim.background(
             &mut rng,
             router,
@@ -51,8 +57,15 @@ fn main() {
     }
     let mut incident = sim.msgs;
     sort_batch(&mut incident);
-    let gt_size = incident.iter().filter(|m| m.gt_event == Some(flap_id)).count();
-    println!("  {} messages total, {} belong to the flap", incident.len(), gt_size);
+    let gt_size = incident
+        .iter()
+        .filter(|m| m.gt_event == Some(flap_id))
+        .count();
+    println!(
+        "  {} messages total, {} belong to the flap",
+        incident.len(),
+        gt_size
+    );
 
     // Digest the incident window.
     let report = digest(&knowledge, &incident, &GroupingConfig::default());
@@ -70,7 +83,11 @@ fn main() {
         .expect("events exist");
     println!("\nthe flap event:");
     println!("  {}", flap.format_line());
-    println!("  {} messages across {} routers", flap.size(), flap.routers.len());
+    println!(
+        "  {} messages across {} routers",
+        flap.size(),
+        flap.routers.len()
+    );
     println!("  signatures:");
     for s in &flap.signatures {
         println!("    {s}");

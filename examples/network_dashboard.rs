@@ -30,10 +30,7 @@ fn main() {
     let mut w = t0;
     while w.0 < online.last().unwrap().ts.0 {
         let hi = w.plus(600);
-        let count = online
-            .iter()
-            .filter(|m| m.ts >= w && m.ts < hi)
-            .count();
+        let count = online.iter().filter(|m| m.ts >= w && m.ts < hi).count();
         if count > best.1 {
             best = (w, count);
         }
@@ -50,7 +47,10 @@ fn main() {
         knowledge.dict.routers.resolve(r.0)
     });
 
-    println!("{:<12} {:>6} {:>7}  event view (Fig 14)   raw view (Fig 15)", "router", "events", "msgs");
+    println!(
+        "{:<12} {:>6} {:>7}  event view (Fig 14)   raw view (Fig 15)",
+        "router", "events", "msgs"
+    );
     let max_msgs = rows.iter().map(|r| r.n_messages).max().unwrap_or(1);
     for r in &rows {
         println!(

@@ -41,7 +41,10 @@ fn main() {
     // deployment does ("it generally takes less than one hour to digest
     // one day's syslog" - here it takes milliseconds).
     let online = data.online();
-    let day_end = online[0].ts.start_of_day().plus(syslogdigest_repro::model::DAY);
+    let day_end = online[0]
+        .ts
+        .start_of_day()
+        .plus(syslogdigest_repro::model::DAY);
     let day = &online[..online.partition_point(|m| m.ts < day_end)];
     println!("digesting day one of the online period...");
     let report = digest(&knowledge, day, &GroupingConfig::default());

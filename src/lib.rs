@@ -21,7 +21,7 @@ pub use sd_locations as locations;
 pub use sd_model as model;
 pub use sd_netsim as netsim;
 pub use sd_rules as rules;
-pub use sd_temporal as temporal;
 pub use sd_templates as templates;
+pub use sd_temporal as temporal;
 pub use sd_tickets as tickets;
 pub use syslogdigest as digest;

@@ -62,8 +62,14 @@ fn wire_format_roundtrip_preserves_the_digest() {
 #[test]
 fn both_vendors_compress_by_two_orders_of_magnitude() {
     for (spec, cfg) in [
-        (DatasetSpec::preset_a().scaled(0.15), OfflineConfig::dataset_a()),
-        (DatasetSpec::preset_b().scaled(0.15), OfflineConfig::dataset_b()),
+        (
+            DatasetSpec::preset_a().scaled(0.15),
+            OfflineConfig::dataset_a(),
+        ),
+        (
+            DatasetSpec::preset_b().scaled(0.15),
+            OfflineConfig::dataset_b(),
+        ),
     ] {
         let name = spec.name.clone();
         let d = Dataset::generate(spec);
@@ -83,9 +89,13 @@ fn both_vendors_compress_by_two_orders_of_magnitude() {
 #[test]
 fn stage_stacking_is_monotone_on_real_data() {
     let (d, k) = setup_a();
-    let t = digest(&k, d.online(), &GroupingConfig::t_only()).events.len();
+    let t = digest(&k, d.online(), &GroupingConfig::t_only())
+        .events
+        .len();
     let tr = digest(&k, d.online(), &GroupingConfig::t_r()).events.len();
-    let trc = digest(&k, d.online(), &GroupingConfig::default()).events.len();
+    let trc = digest(&k, d.online(), &GroupingConfig::default())
+        .events
+        .len();
     assert!(t >= tr, "T {t} < T+R {tr}");
     assert!(tr >= trc, "T+R {tr} < T+R+C {trc}");
 }
@@ -94,8 +104,11 @@ fn stage_stacking_is_monotone_on_real_data() {
 fn ticket_experiment_matches_all_top_tickets() {
     let d = Dataset::generate(DatasetSpec::preset_b().scaled(0.2));
     let k = learn(&d.configs, d.train(), &OfflineConfig::dataset_b());
-    let report =
-        syslogdigest_repro::tickets::run_ticket_experiment(&d, &k, 10, 0.10, 0xBEEF);
+    let report = syslogdigest_repro::tickets::run_ticket_experiment(&d, &k, 10, 0.10, 0xBEEF);
     assert!(report.n_tickets > 0);
-    assert_eq!(report.n_matched, report.n_tickets, "ranks {:?}", report.best_ranks);
+    assert_eq!(
+        report.n_matched, report.n_tickets,
+        "ranks {:?}",
+        report.best_ranks
+    );
 }

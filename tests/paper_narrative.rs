@@ -48,13 +48,20 @@ fn table2_toy_digests_to_the_papers_single_event() {
     let k = toy_knowledge();
     let raw = toy_table2_messages();
     let report = digest(&k, &raw, &GroupingConfig::default());
-    assert_eq!(report.events.len(), 1, "m1..m16 must form one network event");
+    assert_eq!(
+        report.events.len(),
+        1,
+        "m1..m16 must form one network event"
+    );
     let ev = &report.events[0];
     assert_eq!(ev.size(), 16);
     // The paper's presentation line:
     // 2010-01-10 00:00:00|2010-01-10 00:00:31|r1 ... r2 ...|link flap, ...
     let line = ev.format_line();
-    assert!(line.starts_with("2010-01-10 00:00:00|2010-01-10 00:00:31|"), "{line}");
+    assert!(
+        line.starts_with("2010-01-10 00:00:00|2010-01-10 00:00:31|"),
+        "{line}"
+    );
     assert!(line.contains("r1 Interface Serial1/0.10/10:0"), "{line}");
     assert!(line.contains("r2 Interface Serial1/0.20/20:0"), "{line}");
     assert!(line.contains("link flap"), "{line}");
@@ -123,7 +130,9 @@ fn pim_dual_failure_cascade_is_recovered() {
     );
     // The biggest piece may be the single-router retry series; among the
     // pieces there must be a cross-router one and a multi-protocol one.
-    let spans_routers = holders.iter().any(|&(i, _)| report.events[i].routers.len() >= 2);
+    let spans_routers = holders
+        .iter()
+        .any(|&(i, _)| report.events[i].routers.len() >= 2);
     assert!(spans_routers, "no cascade piece spans multiple routers");
     let multi_code = holders.iter().any(|&(i, _)| {
         let codes: std::collections::HashSet<&str> = report.events[i]

@@ -182,12 +182,7 @@ fn tiny_knowledge() -> DomainKnowledge {
 
 fn arbitrary_stream() -> impl Strategy<Value = Vec<RawMessage>> {
     proptest::collection::vec(
-        (
-            0i64..40_000,
-            0usize..3,
-            0usize..2,
-            prop::bool::ANY,
-        ),
+        (0i64..40_000, 0usize..3, 0usize..2, prop::bool::ANY),
         1..150,
     )
     .prop_map(|items| {
@@ -203,9 +198,7 @@ fn arbitrary_stream() -> impl Strategy<Value = Vec<RawMessage>> {
                     ),
                     _ => (
                         "LINEPROTO-5-UPDOWN",
-                        format!(
-                            "Line protocol on Interface Serial1/0, changed state to {state}"
-                        ),
+                        format!("Line protocol on Interface Serial1/0, changed state to {state}"),
                     ),
                 };
                 RawMessage::new(

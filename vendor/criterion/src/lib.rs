@@ -1,0 +1,276 @@
+//! Offline vendored mini-criterion.
+//!
+//! The build environment cannot fetch the real `criterion` crate, so this
+//! provides the subset of its API the workspace's benches use: `Criterion`
+//! with `sample_size`, `bench_function`, `benchmark_group`;
+//! `BenchmarkGroup` with `throughput` / `bench_function` /
+//! `bench_with_input` / `finish`; `Bencher::iter`; `Throughput`;
+//! `BenchmarkId`; and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed over
+//! `sample_size` samples whose per-sample iteration count targets ~20 ms of
+//! work. Median per-iteration time (and derived element throughput) is
+//! printed to stdout. There are no plots, no statistics beyond
+//! median/min/max, and no baseline comparison — just honest wall-clock
+//! numbers suitable for relative comparisons on one machine.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units a benchmark processes per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (messages, items) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group (function name + parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, tp: Option<Throughput>, mut f: F) {
+    // Warm-up + calibration: find an iteration count giving ~20 ms samples.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+            break;
+        }
+        // Aim straight for the target from the observed rate, conservatively.
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let target = (0.02 / per_iter.max(1e-9)).ceil() as u64;
+        iters = target.clamp(iters * 2, 1 << 20);
+    }
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+
+    let mut line = format!(
+        "{id:<50} median {:>12}  [min {}, max {}]",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(max)
+    );
+    if let Some(tp) = tp {
+        let (units, label) = match tp {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        line.push_str(&format!("  {:.3e} {}", units / median, label));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declare a benchmark group function, criterion-style (both forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7u32));
+        g.finish();
+    }
+}

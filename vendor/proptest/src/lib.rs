@@ -1,0 +1,441 @@
+//! Offline vendored mini-proptest.
+//!
+//! Supports the subset of the `proptest` API the workspace's property
+//! tests use: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), `prop_assert!` / `prop_assert_eq!`,
+//! integer/float range strategies, tuple strategies, `prop::bool::ANY`,
+//! `proptest::collection::vec`, `.prop_map`, and string strategies given
+//! as regex-like literals (character classes + `{m,n}` repetition).
+//!
+//! Differences from upstream: failing cases are reported with their case
+//! number and seed but are **not shrunk**, and generation streams differ.
+//! Each test function's RNG is seeded from its name, so runs are
+//! deterministic and repeatable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-case failure raised by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test random source.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from a test name (stable across runs).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// `&str` literals are regex-like string strategies.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = regex_lite::parse(self);
+        regex_lite::generate(&pattern, rng.rng())
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy with element strategy `element` and a length range.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng().gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` namespace (`prop::bool::ANY`, ...).
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The any-bool strategy value.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.0.gen_bool(0.5)
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Regex-lite pattern parsing and generation for string strategies.
+mod regex_lite {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// One atom of the pattern with its repetition bounds.
+    pub struct Piece {
+        options: Vec<(char, char)>, // inclusive char ranges to choose among
+        min: usize,
+        max: usize,
+    }
+
+    /// Parse a regex-like literal: literal chars, `[...]` classes (with
+    /// ranges and `\n`/`\t`/`\\` escapes), and `{n}` / `{m,n}` repetition.
+    pub fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let options: Vec<(char, char)> = match chars[i] {
+                '[' => {
+                    let close = find_close(&chars, i);
+                    let opts = parse_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    opts
+                }
+                '\\' => {
+                    let c = unescape(chars[i + 1]);
+                    i += 2;
+                    vec![(c, c)]
+                }
+                '.' => {
+                    i += 1;
+                    vec![(' ', '~')]
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed {{}} in pattern"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("repeat lower bound"),
+                        hi.parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { options, min, max });
+        }
+        pieces
+    }
+
+    fn find_close(chars: &[char], open: usize) -> usize {
+        let mut j = open + 1;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 2,
+                ']' => return j,
+                _ => j += 1,
+            }
+        }
+        panic!("unclosed [] in pattern");
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(body: &[char]) -> Vec<(char, char)> {
+        // Read one (possibly escaped) char, returning it and the next index.
+        fn read_char(body: &[char], i: usize) -> (char, usize) {
+            if body[i] == '\\' {
+                (unescape(body[i + 1]), i + 2)
+            } else {
+                (body[i], i + 1)
+            }
+        }
+        let mut opts = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            let (lo, next) = read_char(body, i);
+            i = next;
+            if i + 1 < body.len() && body[i] == '-' {
+                let (hi, next) = read_char(body, i + 1);
+                i = next;
+                assert!(lo <= hi, "inverted class range in pattern");
+                opts.push((lo, hi));
+            } else {
+                opts.push((lo, lo));
+            }
+        }
+        opts
+    }
+
+    /// Generate one string from a parsed pattern.
+    pub fn generate(pieces: &[Piece], rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for piece in pieces {
+            let n = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                // Weight options by their width so wide ranges dominate,
+                // matching intuition for classes like `[ -~]`.
+                let total: u32 = piece
+                    .options
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for &(lo, hi) in &piece.options {
+                    let width = hi as u32 - lo as u32 + 1;
+                    if pick < width {
+                        out.push(char::from_u32(lo as u32 + pick).expect("in range"));
+                        break;
+                    }
+                    pick -= width;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Assert inside a proptest body; failure aborts the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...)` runs the
+/// body over `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let ($($arg,)+) = {
+                    let ($(ref $arg,)+) = strategies;
+                    ($($crate::Strategy::generate($arg, &mut rng),)+)
+                };
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,520 @@
+//! Derive macros for the offline vendored mini-serde.
+//!
+//! Parses the derive input token stream by hand (no `syn`/`quote` in the
+//! offline build environment) and emits `serde::Serialize` /
+//! `serde::Deserialize` impls that convert through `serde::Value`.
+//!
+//! Supported shapes — everything the workspace uses:
+//! * structs with named fields (`#[serde(skip)]` and `#[serde(default)]`
+//!   honored per field),
+//! * tuple structs (1-field newtypes serialize transparently),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   upstream serde's default).
+//!
+//! Generics are intentionally unsupported; the derive panics with a clear
+//! message if it meets them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Container-level serde attributes (only `from = "Type"` is supported).
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    from: Option<String>,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (parsed, _container) = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, shape } => gen_struct_serialize(name, shape),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (parsed, container) = parse_input(input);
+    let name = match &parsed {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name.clone(),
+    };
+    // `#[serde(from = "T")]`: deserialize T, then `From::from` it —
+    // upstream serde semantics.
+    if let Some(from_ty) = &container.from {
+        let code = format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let inner: {from_ty} = ::serde::Deserialize::from_value(v)?;\n\
+                 ::std::result::Result::Ok(::std::convert::From::from(inner))\n\
+               }}\n\
+             }}"
+        );
+        return code.parse().expect("generated from-conversion impl parses");
+    }
+    let code = match &parsed {
+        Input::Struct { name, shape } => gen_struct_deserialize(name, shape),
+        Input::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing --
+
+fn parse_input(input: TokenStream) -> (Input, ContainerAttrs) {
+    let mut container = ContainerAttrs::default();
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility, find `struct` / `enum`.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group, noting
+                // any container-level serde settings.
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    parse_container_attr(&g, &mut container);
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                // `pub` (possibly followed by a `(crate)` group) or other
+                // modifiers: ignore.
+            }
+            Some(_) => {}
+            None => panic!("serde derive: no struct/enum found in input"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    let input = match iter.next() {
+        None => Input::Struct { name, shape: Shape::Unit },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            Input::Struct { name, shape: Shape::Unit }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = split_top_level(g.stream()).len();
+            Input::Struct { name, shape: Shape::Tuple(arity) }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Input::Struct { name, shape: Shape::Named(parse_named_fields(g.stream())) }
+            } else {
+                Input::Enum { name, variants: parse_variants(g.stream()) }
+            }
+        }
+        other => panic!("serde derive: unexpected token after type name: {other:?}"),
+    };
+    (input, container)
+}
+
+/// Inspect one outer attribute group for `serde(from = "Type")`.
+fn parse_container_attr(g: &proc_macro::Group, container: &mut ContainerAttrs) {
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    if !matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else { return };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match args.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "from" => {
+            let Some(TokenTree::Literal(lit)) = args.get(2) else {
+                panic!("serde derive (vendored): expected `from = \"Type\"`");
+            };
+            let text = lit.to_string();
+            container.from =
+                Some(text.trim_matches('"').to_owned());
+        }
+        Some(TokenTree::Ident(id)) => {
+            panic!(
+                "serde derive (vendored): unsupported container attribute `{}`",
+                id
+            )
+        }
+        _ => {}
+    }
+}
+
+/// Split a token stream on commas that sit outside any `<...>` nesting.
+/// (Delimiter groups are opaque trees already; only angle brackets need
+/// explicit depth tracking.)
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Read leading `#[...]` attributes off a token slice, returning the serde
+/// field attributes and the index of the first non-attribute token.
+fn take_attrs(tokens: &[TokenTree]) -> (FieldAttrs, usize) {
+    let mut attrs = FieldAttrs::default();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for tt in args.stream() {
+                        if let TokenTree::Ident(id) = tt {
+                            match id.to_string().as_str() {
+                                "skip" => attrs.skip = true,
+                                "default" => attrs.default = true,
+                                other => panic!(
+                                    "serde derive (vendored): unsupported attribute `{other}`"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (attrs, i)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let (attrs, mut i) = take_attrs(&seg);
+            // Skip visibility.
+            if matches!(&seg[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+                i += 1;
+                if matches!(&seg.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            let TokenTree::Ident(name) = &seg[i] else {
+                panic!("serde derive: expected field name in {seg:?}");
+            };
+            Field { name: name.to_string(), attrs }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let (_attrs, i) = take_attrs(&seg);
+            let TokenTree::Ident(name) = &seg[i] else {
+                panic!("serde derive: expected variant name in {seg:?}");
+            };
+            let shape = match seg.get(i + 1) {
+                None => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                other => panic!("serde derive: unexpected token in variant: {other:?}"),
+            };
+            Variant { name: name.to_string(), shape }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- generation --
+
+fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.attrs.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::unexpected(\"array\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                   return ::std::result::Result::Err(::serde::DeError(format!(\
+                     \"tuple struct {name} has {{}} elements, expected {n}\", items.len())));\n\
+                 }}\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            let _ = write!(
+                s,
+                "::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            );
+            s
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.attrs.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else if f.attrs.default {
+                        format!("{0}: ::serde::de_field_or_default(v, \"{0}\")?", f.name)
+                    } else {
+                        format!("{0}: ::serde::de_field(v, \"{0}\")?", f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{\n\
+             let _ = v;\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                );
+            }
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_owned()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vn}({}) => ::serde::Value::Map(vec![(\
+                     \"{vn}\".to_string(), {payload})]),",
+                    binds.join(", ")
+                );
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let pushes: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.attrs.skip)
+                    .map(|f| {
+                        format!(
+                            "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\
+                     \"{vn}\".to_string(), \
+                     ::serde::Value::Map(vec![{}]))]),",
+                    binds.join(", "),
+                    pushes.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             match self {{\n{arms}}}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                let _ = writeln!(
+                    unit_arms,
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                );
+            }
+            Shape::Tuple(1) => {
+                let _ = writeln!(
+                    data_arms,
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(payload)?)),"
+                );
+            }
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                let _ = writeln!(
+                    data_arms,
+                    "\"{vn}\" => {{\n\
+                       let items = payload.as_array().ok_or_else(|| \
+                         ::serde::DeError::unexpected(\"array\", payload))?;\n\
+                       if items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError(format!(\
+                           \"variant {name}::{vn} has {{}} elements, expected {n}\", \
+                           items.len())));\n\
+                       }}\n\
+                       ::std::result::Result::Ok({name}::{vn}({}))\n\
+                     }}",
+                    items.join(", ")
+                );
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.attrs.skip {
+                            format!("{}: ::std::default::Default::default()", f.name)
+                        } else if f.attrs.default {
+                            format!(
+                                "{0}: ::serde::de_field_or_default(payload, \"{0}\")?",
+                                f.name
+                            )
+                        } else {
+                            format!("{0}: ::serde::de_field(payload, \"{0}\")?", f.name)
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(
+                    data_arms,
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                    inits.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{\n\
+             match v {{\n\
+               ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(format!(\
+                   \"unknown variant `{{other}}` of {name}\"))),\n\
+               }},\n\
+               ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                   {data_arms}\
+                   other => ::std::result::Result::Err(::serde::DeError(format!(\
+                     \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+               }}\n\
+               other => ::std::result::Result::Err(\
+                 ::serde::DeError::unexpected(\"enum {name}\", other)),\n\
+             }}\n\
+           }}\n\
+         }}"
+    )
+}
