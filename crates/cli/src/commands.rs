@@ -1,14 +1,17 @@
 //! Subcommand implementations for `sdigest`.
 
 use crate::args::{ArgError, Parsed};
-use sd_model::{Parallelism, RawMessage, Vendor};
-use sd_netsim::{Dataset, DatasetSpec};
+use sd_model::{Parallelism, ParseError, RawMessage, Vendor};
+use sd_netsim::{inject, Dataset, DatasetSpec, FaultSpec};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 use syslogdigest::offline::{learn, OfflineConfig};
-use syslogdigest::{digest, DomainKnowledge, GroupingConfig, StreamDigester};
+use syslogdigest::{
+    digest, DomainKnowledge, FaultTolerantIngest, GroupingConfig, StreamConfig, StreamSnapshot,
+};
 
 type CmdResult = Result<String, ArgError>;
 
@@ -16,19 +19,55 @@ fn io_err(context: &str, e: std::io::Error) -> ArgError {
     ArgError(format!("{context}: {e}"))
 }
 
+/// How many malformed lines [`read_log`] keeps verbatim for diagnostics.
+const MALFORMED_SAMPLES: usize = 5;
+
+/// What [`read_log`] found wrong with a feed file: a count plus the first
+/// few offenders as `(line number, reason)`, so operators see *why* lines
+/// were rejected, not only how many.
+#[derive(Debug, Clone, Default)]
+pub struct MalformedReport {
+    /// Non-blank lines that failed to parse.
+    pub count: usize,
+    /// First few `(1-based line number, reason)` pairs.
+    pub samples: Vec<(usize, String)>,
+}
+
+impl MalformedReport {
+    fn record(&mut self, line_no: usize, err: &ParseError) {
+        self.count += 1;
+        if self.samples.len() < MALFORMED_SAMPLES {
+            self.samples.push((line_no, err.to_string()));
+        }
+    }
+}
+
+impl fmt::Display for MalformedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} malformed", self.count)?;
+        if !self.samples.is_empty() {
+            let shown: Vec<String> = self
+                .samples
+                .iter()
+                .map(|(n, why)| format!("line {n}: {why}"))
+                .collect();
+            write!(f, " (first: {})", shown.join("; "))?;
+        }
+        Ok(())
+    }
+}
+
 /// Read and parse a syslog wire-format file, skipping blank lines and
-/// reporting the count of malformed ones.
-pub fn read_log(path: &Path) -> Result<(Vec<RawMessage>, usize), ArgError> {
+/// reporting the malformed ones (count + first offenders with reasons).
+pub fn read_log(path: &Path) -> Result<(Vec<RawMessage>, MalformedReport), ArgError> {
     let text = fs::read_to_string(path).map_err(|e| io_err("reading log", e))?;
     let mut msgs = Vec::new();
-    let mut bad = 0usize;
-    for line in text.lines() {
-        if line.trim().is_empty() {
-            continue;
-        }
+    let mut bad = MalformedReport::default();
+    for (i, line) in text.lines().enumerate() {
         match RawMessage::parse_line(line) {
-            Some(m) => msgs.push(m),
-            None => bad += 1,
+            Ok(m) => msgs.push(m),
+            Err(ParseError::Blank) => {}
+            Err(e) => bad.record(i + 1, &e),
         }
     }
     sd_model::sort_batch(&mut msgs);
@@ -98,11 +137,10 @@ pub fn cmd_generate(p: &Parsed) -> CmdResult {
             .map_err(|e| io_err("writing config", e))?;
     }
     let tickets = sd_tickets::generate_tickets(&d, d.spec.seed);
-    fs::write(
-        out.join("tickets.json"),
-        serde_json::to_string_pretty(&tickets).expect("tickets serialize"),
-    )
-    .map_err(|e| io_err("writing tickets.json", e))?;
+    let tickets_json = serde_json::to_string_pretty(&tickets)
+        .map_err(|e| ArgError(format!("serializing tickets: {e}")))?;
+    fs::write(out.join("tickets.json"), tickets_json)
+        .map_err(|e| io_err("writing tickets.json", e))?;
 
     Ok(format!(
         "dataset {} ({:?}): {} routers, {} messages ({} train / {} online), \
@@ -147,10 +185,12 @@ pub fn cmd_learn(p: &Parsed) -> CmdResult {
     }
     let (msgs, bad) = read_log(log)?;
     let k = learn(&configs, &msgs, &cfg);
-    fs::write(out, k.to_json().expect("knowledge serializes"))
-        .map_err(|e| io_err("writing knowledge", e))?;
+    let kjson = k
+        .to_json()
+        .map_err(|e| ArgError(format!("serializing knowledge: {e}")))?;
+    fs::write(out, kjson).map_err(|e| io_err("writing knowledge", e))?;
     Ok(format!(
-        "learned from {} messages ({bad} malformed skipped): {} templates, {} locations, \
+        "learned from {} messages ({bad}): {} templates, {} locations, \
          {} rules, alpha={} beta={} W={}s -> {}",
         msgs.len(),
         k.templates.len(),
@@ -163,34 +203,114 @@ pub fn cmd_learn(p: &Parsed) -> CmdResult {
     ))
 }
 
-/// `sdigest digest --knowledge FILE --log FILE [--top N] [--stages TRC] [--stream] [--threads N]`
+/// Streaming digestion of a feed file through the fault-tolerant ingest
+/// layer, with optional checkpointing:
+///
+/// * `--max-skew S` — reorder tolerance in seconds (default 0);
+/// * `--max-open M` — force-close oldest groups beyond M open messages;
+/// * `--checkpoint FILE` — resume from FILE if present, and write a
+///   snapshot there every `--checkpoint-every N` lines (default 10000).
+fn stream_digest(
+    p: &Parsed,
+    k: &DomainKnowledge,
+    gcfg: GroupingConfig,
+    log: &Path,
+    out: &mut String,
+) -> Result<Vec<syslogdigest::NetworkEvent>, ArgError> {
+    let max_skew: i64 = p.opt_parse("max-skew", 0)?;
+    let max_open: usize = p.opt_parse("max-open", 0)?;
+    let every: usize = p.opt_parse("checkpoint-every", 10_000)?;
+    let ckpt = p.opt("checkpoint").map(Path::new);
+    let scfg = StreamConfig {
+        idle_close: 0,
+        max_open_messages: max_open,
+    };
+
+    let text = fs::read_to_string(log).map_err(|e| io_err("reading log", e))?;
+    let (mut ingest, mut skip) = match ckpt {
+        Some(path) if path.exists() => {
+            let snap = StreamSnapshot::load(path)
+                .map_err(|e| ArgError(format!("loading checkpoint: {e}")))?;
+            let ing = FaultTolerantIngest::resume(k, &snap)
+                .map_err(|e| ArgError(format!("resuming from checkpoint: {e}")))?;
+            let consumed = snap.lines_consumed();
+            out.push_str(&format!(
+                "resumed from {} ({} lines already consumed)\n",
+                path.display(),
+                consumed
+            ));
+            (ing, consumed)
+        }
+        _ => (FaultTolerantIngest::new(k, gcfg, scfg, max_skew), 0),
+    };
+
+    let mut events = Vec::new();
+    let mut since_ckpt = 0usize;
+    for line in text.lines() {
+        if skip > 0 {
+            skip -= 1;
+            continue;
+        }
+        events.extend(ingest.push_line(line));
+        since_ckpt += 1;
+        if let Some(path) = ckpt {
+            if every > 0 && since_ckpt >= every {
+                since_ckpt = 0;
+                ingest
+                    .checkpoint()
+                    .save(path)
+                    .map_err(|e| ArgError(format!("writing checkpoint: {e}")))?;
+            }
+        }
+    }
+    if let Some(path) = ckpt {
+        ingest
+            .checkpoint()
+            .save(path)
+            .map_err(|e| ArgError(format!("writing checkpoint: {e}")))?;
+    }
+
+    let samples = ingest.malformed_samples().to_vec();
+    let (rest, stats) = ingest.finish();
+    events.extend(rest);
+    events.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
+    out.push_str(&format!(
+        "streamed {} lines ({} malformed, {} late, {} duplicate, {} unknown-router, \
+         {} force-closed) -> {} events\n",
+        stats.n_lines,
+        stats.n_malformed,
+        stats.n_late,
+        stats.n_duplicate,
+        stats.digester.n_dropped,
+        stats.digester.n_force_closed,
+        events.len()
+    ));
+    for (n, why) in samples {
+        out.push_str(&format!("  malformed line {n}: {why}\n"));
+    }
+    Ok(events)
+}
+
+/// `sdigest digest --knowledge FILE --log FILE [--top N] [--stages TRC] [--threads N]
+///  [--stream [--max-skew S] [--max-open M] [--checkpoint FILE] [--checkpoint-every N]]`
 pub fn cmd_digest(p: &Parsed) -> CmdResult {
     let ktext =
         fs::read_to_string(p.req("knowledge")?).map_err(|e| io_err("reading knowledge", e))?;
     let k = DomainKnowledge::from_json(&ktext)
         .map_err(|e| ArgError(format!("knowledge file is not valid: {e}")))?;
-    let (msgs, bad) = read_log(Path::new(p.req("log")?))?;
+    let log = Path::new(p.req("log")?);
     let top: usize = p.opt_parse("top", 20)?;
     let mut gcfg = stages(p.opt("stages").unwrap_or("TRC"))?;
     gcfg.par = threads_arg(p)?;
 
     let mut out = String::new();
     let events = if p.flag("stream") {
-        let mut sd = StreamDigester::new(&k, gcfg, 0);
-        let mut events = sd.push_batch(&msgs);
-        let dropped = sd.n_dropped;
-        events.extend(sd.finish());
-        events.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
-        out.push_str(&format!(
-            "streamed {} messages ({bad} malformed, {dropped} unknown-router) -> {} events\n",
-            msgs.len(),
-            events.len()
-        ));
-        events
+        stream_digest(p, &k, gcfg, log, &mut out)?
     } else {
+        let (msgs, bad) = read_log(log)?;
         let d = digest(&k, &msgs, &gcfg);
         out.push_str(&format!(
-            "digested {} messages ({bad} malformed, {} unknown-router) -> {} events \
+            "digested {} messages ({bad}, {} unknown-router) -> {} events \
              (compression {:.2e})\n",
             msgs.len(),
             d.n_dropped,
@@ -223,7 +343,7 @@ pub fn cmd_stats(p: &Parsed) -> CmdResult {
         *by_router.entry(m.router.as_str()).or_insert(0) += 1;
     }
     let mut out = format!(
-        "{} messages ({bad} malformed), {} codes, {} routers",
+        "{} messages ({bad}), {} codes, {} routers",
         msgs.len(),
         by_code.len(),
         by_router.len()
@@ -240,6 +360,45 @@ pub fn cmd_stats(p: &Parsed) -> CmdResult {
     Ok(out)
 }
 
+/// `sdigest inject --log FILE --out FILE [--preset clean|bounded|hostile] [--seed N]`
+///
+/// Perturb a clean wire-format feed with deterministic faults (bounded
+/// reordering, duplicates, corrupted copies, and — for `hostile` — drops
+/// and clock skew), for exercising the fault-tolerant ingest path.
+pub fn cmd_inject(p: &Parsed) -> CmdResult {
+    let log = Path::new(p.req("log")?);
+    let out_path = Path::new(p.req("out")?);
+    let seed: u64 = p.opt_parse("seed", 1)?;
+    let spec = match p.opt("preset").unwrap_or("bounded") {
+        "clean" => FaultSpec::clean(seed),
+        "bounded" => FaultSpec::bounded(seed),
+        "hostile" => FaultSpec::hostile(seed),
+        other => {
+            return Err(ArgError(format!(
+                "unknown preset {other:?} (use clean, bounded, or hostile)"
+            )))
+        }
+    };
+    let (msgs, bad) = read_log(log)?;
+    let (lines, report) = inject(&msgs, &spec);
+    let mut f = fs::File::create(out_path).map_err(|e| io_err("creating faulted log", e))?;
+    for line in &lines {
+        writeln!(f, "{line}").map_err(|e| io_err("writing faulted log", e))?;
+    }
+    Ok(format!(
+        "injected faults into {} messages ({bad} in input): {} lines out \
+         ({} reordered, {} duplicated, {} corrupted, {} dropped, {} skewed) -> {}",
+        report.n_input,
+        report.n_lines,
+        report.n_reordered,
+        report.n_duplicated,
+        report.n_corrupted,
+        report.n_dropped,
+        report.n_skewed,
+        out_path.display()
+    ))
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "sdigest — SyslogDigest command line\n\
@@ -248,7 +407,9 @@ pub fn usage() -> &'static str {
        sdigest generate --out DIR [--dataset A|B] [--scale F] [--seed N]\n\
        sdigest learn    --configs DIR --log FILE --out FILE [--profile A|B] [--threads N]\n\
        sdigest digest   --knowledge FILE --log FILE [--top N] [--stages T|TR|TRC]\n\
-                        [--stream] [--threads N]\n\
+                        [--threads N] [--stream [--max-skew SECS] [--max-open N]\n\
+                        [--checkpoint FILE] [--checkpoint-every N]]\n\
+       sdigest inject   --log FILE --out FILE [--preset clean|bounded|hostile] [--seed N]\n\
        sdigest stats    --log FILE [--top N]\n"
 }
 
@@ -258,6 +419,7 @@ pub fn dispatch(p: &Parsed) -> CmdResult {
         "generate" => cmd_generate(p),
         "learn" => cmd_learn(p),
         "digest" => cmd_digest(p),
+        "inject" => cmd_inject(p),
         "stats" => cmd_stats(p),
         "help" | "--help" => Ok(usage().to_owned()),
         other => Err(ArgError(format!(
@@ -350,6 +512,115 @@ mod tests {
         ]))
         .unwrap();
         assert!(stats.contains("top codes"), "{stats}");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_log_reports_first_malformed_lines_with_reasons() {
+        let dir = tmpdir("malformed");
+        let path = dir.join("bad.log");
+        fs::write(
+            &path,
+            "2010-01-10 00:00:15 r1 SYS-5-RESTART fine\n\
+             \n\
+             2010-01-10 00:00:16 r1\n\
+             garbage here entirely today\n\
+             2010-01-10 00:00:17 r1 SYS-5-RESTART also fine\n",
+        )
+        .unwrap();
+        let (msgs, bad) = read_log(&path).unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(bad.count, 2);
+        assert_eq!(bad.samples.len(), 2);
+        assert_eq!(
+            bad.samples[0],
+            (3, "truncated line: missing code".to_owned())
+        );
+        assert_eq!(bad.samples[1], (4, "malformed timestamp".to_owned()));
+        let rendered = bad.to_string();
+        assert!(rendered.contains("line 3"), "{rendered}");
+        assert!(rendered.contains("malformed timestamp"), "{rendered}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inject_then_stream_digest_with_checkpoint() {
+        let dir = tmpdir("faulted-stream");
+        let out = dir.to_str().unwrap();
+        cmd_generate(&parse(&[
+            "generate",
+            "--dataset",
+            "A",
+            "--scale",
+            "0.06",
+            "--out",
+            out,
+        ]))
+        .unwrap();
+        let kpath = dir.join("knowledge.json");
+        cmd_learn(&parse(&[
+            "learn",
+            "--configs",
+            dir.join("configs").to_str().unwrap(),
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--out",
+            kpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Fault the feed deterministically.
+        let faulted = dir.join("faulted.log");
+        let msg = cmd_inject(&parse(&[
+            "inject",
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--out",
+            faulted.to_str().unwrap(),
+            "--preset",
+            "bounded",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        assert!(msg.contains("corrupted"), "{msg}");
+
+        // Stream-digest it with reorder repair and periodic checkpoints.
+        let ckpt = dir.join("stream.ckpt");
+        let report = cmd_digest(&parse(&[
+            "digest",
+            "--knowledge",
+            kpath.to_str().unwrap(),
+            "--log",
+            faulted.to_str().unwrap(),
+            "--stream",
+            "--max-skew",
+            "30",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "2000",
+        ]))
+        .unwrap();
+        assert!(report.contains("streamed"), "{report}");
+        assert!(ckpt.exists(), "checkpoint file was not written");
+
+        // A second run resumes from the checkpoint instead of starting over.
+        let resumed = cmd_digest(&parse(&[
+            "digest",
+            "--knowledge",
+            kpath.to_str().unwrap(),
+            "--log",
+            faulted.to_str().unwrap(),
+            "--stream",
+            "--max-skew",
+            "30",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(resumed.contains("resumed from"), "{resumed}");
 
         let _ = fs::remove_dir_all(&dir);
     }

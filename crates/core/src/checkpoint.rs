@@ -1,0 +1,316 @@
+//! Versioned checkpoint/restore for the streaming digester.
+//!
+//! A long-running `sdigest digest --stream` process must survive being
+//! killed: on restart it should continue from where it stopped without
+//! re-reading the whole feed and without losing or duplicating events.
+//! This module defines the on-disk snapshot format:
+//!
+//! * [`StreamSnapshot`] — a self-describing JSON document carrying a
+//!   **format version** ([`SNAPSHOT_VERSION`]), a **knowledge
+//!   fingerprint** (see [`DomainKnowledge::fingerprint`]) and the complete
+//!   mutable state of the digester (plus, when checkpointed through the
+//!   ingest layer, the reorder buffer).
+//! * [`StreamSnapshot::save`] writes atomically (temp file + rename), so
+//!   a crash mid-write can never leave a truncated snapshot where a good
+//!   one used to be.
+//! * [`StreamSnapshot::from_json`] / [`StreamSnapshot::load`] check the
+//!   version field *before* decoding the body, so a snapshot produced by
+//!   a future incompatible build fails with
+//!   [`CheckpointError::Version`] rather than a confusing parse error,
+//!   and [`StreamSnapshot::verify`] refuses to resume against a different
+//!   knowledge base ([`CheckpointError::KnowledgeMismatch`]) — dense ids
+//!   would silently mis-group otherwise.
+//!
+//! Delivery semantics: events emitted between the last checkpoint and a
+//! crash are emitted *again* after resume (at-least-once); exactly-once
+//! holds at checkpoint boundaries. Consumers needing exactly-once should
+//! checkpoint and persist emitted events in the same transaction, keyed
+//! by [`StreamSnapshot::lines_consumed`].
+
+use crate::grouping::GroupingConfig;
+use crate::knowledge::DomainKnowledge;
+use crate::stream::{OpenGroup, StreamConfig, StreamStats};
+use sd_model::{RawMessage, SyslogPlus, Timestamp};
+use sd_temporal::EwmaTracker;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Current snapshot format version. Bump on any incompatible change to
+/// [`DigesterState`] / [`IngestState`]; old snapshots are then rejected
+/// with [`CheckpointError::Version`] instead of being misdecoded.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Per-tracker-key EWMA state, flattened for serialization.
+pub(crate) type TrackerTable = Vec<((u32, u32, u32), (EwmaTracker, u64))>;
+
+/// Per-router rule-stage lookback, flattened for serialization.
+pub(crate) type RulesLookback = Vec<(u32, Vec<((u32, u32), (u64, Timestamp))>)>;
+
+/// Complete mutable state of a [`StreamDigester`](crate::StreamDigester).
+///
+/// Every map is stored as a sorted `Vec` of pairs so the same digester
+/// state always serializes to the same bytes (hash-map iteration order
+/// must not leak into snapshot files).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DigesterState {
+    pub(crate) grouping: GroupingConfig,
+    pub(crate) stream: StreamConfig,
+    pub(crate) next_seq: u64,
+    pub(crate) clock: Timestamp,
+    pub(crate) since_sweep: usize,
+    pub(crate) stats: StreamStats,
+    pub(crate) open: Vec<(u64, SyslogPlus)>,
+    pub(crate) raw: Vec<(u64, RawMessage)>,
+    pub(crate) parent: Vec<(u64, u64)>,
+    pub(crate) groups: Vec<(u64, OpenGroup)>,
+    pub(crate) trackers: TrackerTable,
+    pub(crate) recent_rules: RulesLookback,
+    pub(crate) recent_cross: Vec<(u32, Vec<(u64, Timestamp)>)>,
+}
+
+/// State of the fault-tolerant ingest wrapper (reorder buffer contents
+/// and ingest counters), present when the snapshot was taken through
+/// [`FaultTolerantIngest`](crate::ingest::FaultTolerantIngest).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestState {
+    /// Buffered (accepted, not yet released) messages in release order.
+    pub(crate) buffered: Vec<RawMessage>,
+    /// Highest timestamp observed (drives the watermark).
+    pub(crate) high: Option<Timestamp>,
+    /// Reorder tolerance in seconds.
+    pub(crate) max_skew_secs: i64,
+    /// Ingest-level counters.
+    pub(crate) n_lines: usize,
+    pub(crate) n_malformed: usize,
+    pub(crate) n_late: usize,
+    pub(crate) n_duplicate: usize,
+    /// First few malformed lines, as (line number, reason).
+    pub(crate) malformed_samples: Vec<(usize, String)>,
+}
+
+/// A versioned, self-describing snapshot of a streaming digestion run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamSnapshot {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`] at write time).
+    pub version: u32,
+    /// Fingerprint of the knowledge base the digester ran against.
+    pub knowledge_fp: u64,
+    /// Digester state proper.
+    pub(crate) digester: DigesterState,
+    /// Ingest-layer state, when checkpointed through the ingest wrapper.
+    pub(crate) ingest: Option<IngestState>,
+}
+
+/// Why a snapshot could not be written, read, or resumed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The snapshot carries an unsupported format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The snapshot was taken against a different knowledge base.
+    KnowledgeMismatch,
+    /// The snapshot file does not decode as a snapshot.
+    Corrupt(String),
+    /// Filesystem failure while reading or writing.
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Version { found, expected } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads {expected})"
+            ),
+            CheckpointError::KnowledgeMismatch => write!(
+                f,
+                "snapshot was taken against a different knowledge base; \
+                 re-learn or use the original knowledge file"
+            ),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            CheckpointError::Io(why) => write!(f, "snapshot i/o failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl StreamSnapshot {
+    /// Assemble a snapshot for a bare digester (no ingest layer).
+    pub(crate) fn for_digester(k: &DomainKnowledge, digester: DigesterState) -> Self {
+        StreamSnapshot {
+            version: SNAPSHOT_VERSION,
+            knowledge_fp: k.fingerprint(),
+            digester,
+            ingest: None,
+        }
+    }
+
+    /// Attach ingest-layer state (builder style).
+    pub(crate) fn with_ingest(mut self, ingest: IngestState) -> Self {
+        self.ingest = Some(ingest);
+        self
+    }
+
+    /// Check that this snapshot can be resumed against `k` by this build.
+    pub fn verify(&self, k: &DomainKnowledge) -> Result<(), CheckpointError> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(CheckpointError::Version {
+                found: self.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        if self.knowledge_fp != k.fingerprint() {
+            return Err(CheckpointError::KnowledgeMismatch);
+        }
+        Ok(())
+    }
+
+    /// Total feed lines consumed up to this snapshot (accepted + dropped +
+    /// malformed when ingest state is present) — the offset a resuming
+    /// process should skip to in the feed.
+    pub fn lines_consumed(&self) -> usize {
+        match &self.ingest {
+            Some(ing) => ing.n_lines,
+            None => self.digester.stats.n_input,
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        serde_json::to_string(self).map_err(|e| CheckpointError::Corrupt(e.to_string()))
+    }
+
+    /// Parse from JSON, checking the format version *before* decoding the
+    /// body so incompatible snapshots fail with a clear error.
+    pub fn from_json(text: &str) -> Result<Self, CheckpointError> {
+        let tree = serde_json::parse(text).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+        let version = match tree.get_field("version") {
+            Some(serde::Value::I64(v)) => *v as u64,
+            Some(serde::Value::U64(v)) => *v,
+            _ => return Err(CheckpointError::Corrupt("missing version field".to_owned())),
+        };
+        if version != SNAPSHOT_VERSION as u64 {
+            return Err(CheckpointError::Version {
+                found: version as u32,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        serde_json::from_str(text).map_err(|e| CheckpointError::Corrupt(e.to_string()))
+    }
+
+    /// Write atomically to `path`: the snapshot is written to a sibling
+    /// temp file and renamed into place, so a crash mid-write leaves any
+    /// previous good snapshot untouched.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = self.to_json()?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &json).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    /// Read a snapshot written by [`StreamSnapshot::save`].
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_state() -> DigesterState {
+        DigesterState {
+            grouping: GroupingConfig::default(),
+            stream: StreamConfig::default(),
+            next_seq: 7,
+            clock: Timestamp(1234),
+            since_sweep: 3,
+            stats: StreamStats {
+                n_input: 9,
+                n_dropped: 2,
+                n_force_closed: 0,
+                n_inconsistent: 0,
+            },
+            open: Vec::new(),
+            raw: Vec::new(),
+            parent: vec![(0, 0), (1, 0)],
+            groups: Vec::new(),
+            trackers: Vec::new(),
+            recent_rules: Vec::new(),
+            recent_cross: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let snap = StreamSnapshot {
+            version: SNAPSHOT_VERSION,
+            knowledge_fp: 42,
+            digester: tiny_state(),
+            ingest: None,
+        };
+        let json = snap.to_json().unwrap();
+        let back = StreamSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.version, SNAPSHOT_VERSION);
+        assert_eq!(back.knowledge_fp, 42);
+        assert_eq!(back.digester.next_seq, 7);
+        assert_eq!(back.digester.stats.n_dropped, 2);
+        assert_eq!(back.lines_consumed(), 9);
+    }
+
+    #[test]
+    fn future_version_is_rejected_with_a_clear_error() {
+        let snap = StreamSnapshot {
+            version: SNAPSHOT_VERSION + 1,
+            knowledge_fp: 0,
+            digester: tiny_state(),
+            ingest: None,
+        };
+        let json = snap.to_json().unwrap();
+        match StreamSnapshot::from_json(&json) {
+            Err(CheckpointError::Version { found, expected }) => {
+                assert_eq!(found, SNAPSHOT_VERSION + 1);
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_corrupt_not_panic() {
+        assert!(matches!(
+            StreamSnapshot::from_json("{\"not\": \"a snapshot\"}"),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        assert!(matches!(
+            StreamSnapshot::from_json("!!!"),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join("sd_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let snap = StreamSnapshot {
+            version: SNAPSHOT_VERSION,
+            knowledge_fp: 7,
+            digester: tiny_state(),
+            ingest: None,
+        };
+        snap.save(&path).unwrap();
+        // No temp file left behind.
+        assert!(!path.with_extension("tmp").exists());
+        let back = StreamSnapshot::load(&path).unwrap();
+        assert_eq!(back.knowledge_fp, 7);
+        std::fs::remove_file(&path).ok();
+    }
+}

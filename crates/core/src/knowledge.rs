@@ -84,6 +84,36 @@ impl DomainKnowledge {
         Ok(k)
     }
 
+    /// Structural fingerprint of this knowledge base (FNV-1a over the
+    /// learned-component shapes and calibrated parameters).
+    ///
+    /// Stored inside stream checkpoints so a snapshot is never resumed
+    /// against a *different* knowledge base — template/location/rule ids
+    /// are dense indexes, and replaying them against another base would
+    /// silently mis-group rather than fail.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.templates.len() as u64);
+        mix(self.fallback_codes.len() as u64);
+        mix(self.dict.len() as u64);
+        mix(self.rules.len() as u64);
+        mix(self.window_secs as u64);
+        mix(self.temporal.alpha.to_bits());
+        mix(self.temporal.beta.to_bits());
+        mix(self.temporal.s_min as u64);
+        mix(self.temporal.s_max as u64);
+        mix(self.freq.len() as u64);
+        h
+    }
+
     /// Resolve a message's template: learned template if one matches, the
     /// per-code fallback if the code was seen in training, otherwise
     /// [`UNKNOWN_TEMPLATE`].

@@ -37,20 +37,25 @@
 
 pub mod augment;
 pub mod baselines;
+pub mod checkpoint;
 pub mod event;
 pub mod grouping;
+pub mod ingest;
 pub mod knowledge;
 pub mod metrics;
 pub mod offline;
 pub mod pipeline;
 pub mod priority;
+pub mod reorder;
 pub mod stream;
 pub mod union_find;
 pub mod viz;
 
 pub use augment::{augment, augment_batch, augment_batch_with, augment_with};
+pub use checkpoint::{CheckpointError, StreamSnapshot, SNAPSHOT_VERSION};
 pub use event::{build_event, label_for, NetworkEvent};
 pub use grouping::{group, GroupingConfig, GroupingResult};
+pub use ingest::{FaultTolerantIngest, IngestStats};
 pub use knowledge::{DomainKnowledge, UNKNOWN_TEMPLATE};
 pub use metrics::{
     compression_table, evaluate_grouping, gt_quality, per_day_series, per_router_counts, DayStats,
@@ -59,4 +64,5 @@ pub use metrics::{
 pub use offline::{learn, mining_stream, temporal_series, temporal_series_par, OfflineConfig};
 pub use pipeline::{digest, Digest};
 pub use priority::score_group;
-pub use stream::StreamDigester;
+pub use reorder::ReorderBuffer;
+pub use stream::{StreamConfig, StreamDigester, StreamStats};

@@ -14,8 +14,30 @@
 //! so with `idle_close ≥ max(Smax, W)` the streaming partition is
 //! **identical** to the batch partition of the same input (a property the
 //! integration tests assert).
+//!
+//! # Robustness guarantees
+//!
+//! A digester that runs for months against a live feed must never abort:
+//!
+//! * **No panics on any input.** Out-of-order timestamps, unknown
+//!   routers and internal invariant violations are *counted* (see
+//!   [`StreamStats`]) and tolerated, never `panic!`ed on. Feeds that
+//!   reorder beyond what the digester handles natively should go through
+//!   the [`reorder`](crate::reorder) buffer / [`ingest`](crate::ingest)
+//!   layer first.
+//! * **Bounded memory.** [`StreamConfig::max_open_messages`] force-closes
+//!   the oldest open groups when a stuck or skewed clock keeps the idle
+//!   sweep from firing; each forced closure increments
+//!   [`StreamStats::n_force_closed`] so degradation is observable.
+//! * **Checkpoint/restore.** [`StreamDigester::checkpoint`] serializes the
+//!   complete mutable state (open groups, union-find forest, EWMA
+//!   trackers, rule/cross lookback, counters) into a versioned
+//!   [`StreamSnapshot`]; [`StreamDigester::resume`] rebuilds an identical
+//!   digester from it, so a killed process continues exactly where it
+//!   stopped (asserted by the kill/resume integration tests).
 
 use crate::augment::augment_with;
+use crate::checkpoint::{CheckpointError, DigesterState, StreamSnapshot};
 use crate::event::{build_event, NetworkEvent};
 use crate::grouping::GroupingConfig;
 use crate::knowledge::DomainKnowledge;
@@ -23,6 +45,7 @@ use crate::priority::score_group;
 use sd_model::{par_chunks, LocationId, RawMessage, SyslogPlus, TemplateId, Timestamp};
 use sd_templates::TokenScratch;
 use sd_temporal::EwmaTracker;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Per router: the recent representative per `(template, location)` the
@@ -30,20 +53,55 @@ use std::collections::{HashMap, VecDeque};
 type RecentRules = HashMap<u32, HashMap<(u32, u32), (u64, Timestamp)>>;
 
 /// One open (not yet emitted) group.
-#[derive(Debug, Default)]
-struct OpenGroup {
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub(crate) struct OpenGroup {
     /// Member sequence numbers.
-    members: Vec<u64>,
+    pub(crate) members: Vec<u64>,
     /// Latest member timestamp (drives closure).
-    last_ts: Timestamp,
+    pub(crate) last_ts: Timestamp,
+}
+
+/// Operational knobs of the streaming digester beyond the grouping
+/// configuration itself.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Idle horizon (seconds) after which a group can no longer grow.
+    /// Clamped up to `max(Smax, W, cross window)` so closure can never
+    /// split a group the batch pipeline would have joined.
+    pub idle_close: i64,
+    /// Upper bound on concurrently open (buffered, not yet emitted)
+    /// messages; `0` means unbounded. When exceeded, the *oldest* open
+    /// groups are force-closed — counted in
+    /// [`StreamStats::n_force_closed`] — instead of letting `open`/`raw`/
+    /// `groups` grow without limit when a stuck or skewed clock stops the
+    /// idle sweep from firing.
+    pub max_open_messages: usize,
+}
+
+/// Drop / degradation counters of one digester run. Every hostile input
+/// condition increments a counter here instead of corrupting state or
+/// panicking; operators alert on these.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Messages accepted (fed into augmentation).
+    pub n_input: usize,
+    /// Messages dropped because the originating router is unknown to the
+    /// location dictionary.
+    pub n_dropped: usize,
+    /// Groups force-closed by the [`StreamConfig::max_open_messages`]
+    /// memory guard before their idle horizon expired.
+    pub n_force_closed: usize,
+    /// Internal invariant violations tolerated (union-find entry missing,
+    /// open member absent). Always 0 in a healthy run; nonzero values
+    /// indicate a bug worth filing, but never abort the process.
+    pub n_inconsistent: usize,
 }
 
 /// Incremental digester over a time-ordered syslog feed.
 pub struct StreamDigester<'k> {
     k: &'k DomainKnowledge,
     cfg: GroupingConfig,
-    /// Idle horizon after which a group can no longer grow.
-    idle_close: i64,
+    scfg: StreamConfig,
 
     next_seq: u64,
     /// Open messages by sequence number.
@@ -60,19 +118,29 @@ pub struct StreamDigester<'k> {
     recent_rules: RecentRules,
     recent_cross: HashMap<u32, VecDeque<(u64, Timestamp)>>,
 
-    /// Messages dropped (unknown router).
-    pub n_dropped: usize,
-    /// Messages accepted.
-    pub n_input: usize,
+    /// Drop / degradation counters.
+    pub stats: StreamStats,
     clock: Timestamp,
     since_sweep: usize,
 }
 
 impl<'k> StreamDigester<'k> {
-    /// New digester. `idle_close` is clamped up to
-    /// `max(Smax, W, cross window)` so closure can never split a group the
-    /// batch pipeline would have joined.
+    /// New digester with default operational limits. `idle_close` is
+    /// clamped up to `max(Smax, W, cross window)` so closure can never
+    /// split a group the batch pipeline would have joined.
     pub fn new(k: &'k DomainKnowledge, cfg: GroupingConfig, idle_close: i64) -> Self {
+        Self::with_config(
+            k,
+            cfg,
+            StreamConfig {
+                idle_close,
+                max_open_messages: 0,
+            },
+        )
+    }
+
+    /// New digester with explicit operational limits (see [`StreamConfig`]).
+    pub fn with_config(k: &'k DomainKnowledge, cfg: GroupingConfig, scfg: StreamConfig) -> Self {
         let floor = k
             .temporal
             .s_max
@@ -81,7 +149,10 @@ impl<'k> StreamDigester<'k> {
         StreamDigester {
             k,
             cfg,
-            idle_close: idle_close.max(floor),
+            scfg: StreamConfig {
+                idle_close: scfg.idle_close.max(floor),
+                max_open_messages: scfg.max_open_messages,
+            },
             next_seq: 0,
             open: HashMap::new(),
             raw: HashMap::new(),
@@ -90,8 +161,7 @@ impl<'k> StreamDigester<'k> {
             trackers: HashMap::new(),
             recent_rules: HashMap::new(),
             recent_cross: HashMap::new(),
-            n_dropped: 0,
-            n_input: 0,
+            stats: StreamStats::default(),
             clock: Timestamp(i64::MIN),
             since_sweep: 0,
         }
@@ -99,7 +169,7 @@ impl<'k> StreamDigester<'k> {
 
     /// The effective idle-closure horizon in seconds.
     pub fn idle_close_secs(&self) -> i64 {
-        self.idle_close
+        self.scfg.idle_close
     }
 
     /// Number of currently open groups.
@@ -107,27 +177,50 @@ impl<'k> StreamDigester<'k> {
         self.groups.len()
     }
 
-    fn find(&mut self, mut x: u64) -> u64 {
+    /// Number of currently open (buffered) messages.
+    pub fn open_messages(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Find the union-find root of `x`, or `None` (counted as an internal
+    /// inconsistency) when `x` is not in the forest — a long-running
+    /// process must degrade by skipping a merge, not abort.
+    fn find(&mut self, mut x: u64) -> Option<u64> {
         // Path compression over the hash-based forest.
         let mut path = Vec::new();
-        while self.parent[&x] != x {
+        loop {
+            let Some(&p) = self.parent.get(&x) else {
+                self.stats.n_inconsistent += 1;
+                return None;
+            };
+            if p == x {
+                break;
+            }
             path.push(x);
-            x = self.parent[&x];
+            x = p;
         }
         for p in path {
             self.parent.insert(p, x);
         }
-        x
+        Some(x)
     }
 
     fn union(&mut self, a: u64, b: u64) {
-        let ra = self.find(a);
-        let rb = self.find(b);
+        let (Some(ra), Some(rb)) = (self.find(a), self.find(b)) else {
+            return; // inconsistency already counted by `find`
+        };
         if ra == rb {
             return;
         }
-        let ga = self.groups.remove(&ra).expect("root has state");
-        let gb = self.groups.remove(&rb).expect("root has state");
+        let Some(ga) = self.groups.remove(&ra) else {
+            self.stats.n_inconsistent += 1;
+            return;
+        };
+        let Some(gb) = self.groups.remove(&rb) else {
+            self.stats.n_inconsistent += 1;
+            self.groups.insert(ra, ga);
+            return;
+        };
         // Attach the smaller under the larger.
         let (root, child, mut groot, gchild) = if ga.members.len() >= gb.members.len() {
             (ra, rb, ga, gb)
@@ -140,8 +233,9 @@ impl<'k> StreamDigester<'k> {
         self.groups.insert(root, groot);
     }
 
-    /// Feed one message (must be non-decreasing in time); returns any
-    /// events that became closable.
+    /// Feed one message (must be non-decreasing in time — route unordered
+    /// feeds through [`ReorderBuffer`](crate::reorder::ReorderBuffer)
+    /// first); returns any events that became closable.
     pub fn push(&mut self, m: &RawMessage) -> Vec<NetworkEvent> {
         let sp = crate::augment::augment(self.k, self.next_seq as usize, m);
         self.push_augmented(m, sp)
@@ -173,11 +267,11 @@ impl<'k> StreamDigester<'k> {
     }
 
     fn push_augmented(&mut self, m: &RawMessage, sp: Option<SyslogPlus>) -> Vec<NetworkEvent> {
-        self.n_input += 1;
+        self.stats.n_input += 1;
         self.clock = self.clock.max(m.ts);
         let seq = self.next_seq;
         let Some(mut sp) = sp else {
-            self.n_dropped += 1;
+            self.stats.n_dropped += 1;
             return self.maybe_sweep();
         };
         sp.idx = seq as usize;
@@ -286,7 +380,9 @@ impl<'k> StreamDigester<'k> {
 
         self.open.insert(seq, sp);
         self.raw.insert(seq, m.clone());
-        self.maybe_sweep()
+        let mut events = self.maybe_sweep();
+        self.enforce_open_bound(&mut events);
+        events
     }
 
     fn maybe_sweep(&mut self) -> Vec<NetworkEvent> {
@@ -298,41 +394,168 @@ impl<'k> StreamDigester<'k> {
         self.sweep(false)
     }
 
+    /// Close and emit one group by root. Returns `None` (with the
+    /// inconsistency counted) if the root has no state or no live members.
+    fn close_root(&mut self, root: u64) -> Option<NetworkEvent> {
+        let g = self.groups.remove(&root)?;
+        // Materialize a mini-batch preserving SyslogPlus order by seq.
+        let mut members = g.members;
+        members.sort_unstable();
+        let mut batch: Vec<SyslogPlus> = Vec::with_capacity(members.len());
+        for s in &members {
+            let Some(mut sp) = self.open.remove(s) else {
+                self.stats.n_inconsistent += 1;
+                continue;
+            };
+            sp.idx = *s as usize; // global sequence number
+            self.raw.remove(s);
+            self.parent.remove(s);
+            batch.push(sp);
+        }
+        if batch.is_empty() {
+            self.stats.n_inconsistent += 1;
+            return None;
+        }
+        let idxs: Vec<usize> = (0..batch.len()).collect();
+        let score = score_group(self.k, &batch, &idxs);
+        Some(build_event(self.k, &batch, &idxs, score))
+    }
+
     fn sweep(&mut self, close_all: bool) -> Vec<NetworkEvent> {
-        let horizon = self.clock.plus(-self.idle_close);
+        // Saturating: `clock` is i64::MIN until the first accepted
+        // message, and extreme parsed timestamps must not overflow.
+        let horizon = Timestamp(self.clock.0.saturating_sub(self.scfg.idle_close));
         let closable: Vec<u64> = self
             .groups
             .iter()
             .filter(|(_, g)| close_all || g.last_ts < horizon)
             .map(|(&root, _)| root)
             .collect();
-        let mut events = Vec::with_capacity(closable.len());
-        for root in closable {
-            let g = self.groups.remove(&root).expect("closable root");
-            // Materialize a mini-batch preserving SyslogPlus order by seq.
-            let mut members = g.members;
-            members.sort_unstable();
-            let batch: Vec<SyslogPlus> = members
-                .iter()
-                .map(|s| {
-                    let mut sp = self.open.remove(s).expect("open member");
-                    sp.idx = *s as usize; // global sequence number
-                    self.raw.remove(s);
-                    self.parent.remove(s);
-                    sp
-                })
-                .collect();
-            let idxs: Vec<usize> = (0..batch.len()).collect();
-            let score = score_group(self.k, &batch, &idxs);
-            events.push(build_event(self.k, &batch, &idxs, score));
-        }
+        let mut events: Vec<NetworkEvent> = closable
+            .into_iter()
+            .filter_map(|root| self.close_root(root))
+            .collect();
         events.sort_by_key(|a| a.start);
         events
+    }
+
+    /// Memory-pressure guard: when more than `max_open_messages` messages
+    /// are buffered, force-close the *least recently active* groups until
+    /// back under the bound, appending their (possibly premature) events.
+    fn enforce_open_bound(&mut self, events: &mut Vec<NetworkEvent>) {
+        let max = self.scfg.max_open_messages;
+        if max == 0 || self.open.len() <= max {
+            return;
+        }
+        let mut roots: Vec<(Timestamp, u64)> = self
+            .groups
+            .iter()
+            .map(|(&root, g)| (g.last_ts, root))
+            .collect();
+        roots.sort_unstable();
+        let mut forced: Vec<NetworkEvent> = Vec::new();
+        for (_, root) in roots {
+            if self.open.len() <= max {
+                break;
+            }
+            if let Some(ev) = self.close_root(root) {
+                forced.push(ev);
+            }
+            self.stats.n_force_closed += 1;
+        }
+        forced.sort_by_key(|a| a.start);
+        events.extend(forced);
     }
 
     /// Close and emit every remaining group (end of the feed).
     pub fn finish(mut self) -> Vec<NetworkEvent> {
         self.sweep(true)
+    }
+
+    // ------------------------------------------------- checkpoint/restore --
+
+    /// Snapshot the complete mutable state into a versioned
+    /// [`StreamSnapshot`] (see [`crate::checkpoint`] for the file format).
+    pub fn checkpoint(&self) -> StreamSnapshot {
+        StreamSnapshot::for_digester(self.k, self.export_state())
+    }
+
+    /// Rebuild a digester from a snapshot taken by
+    /// [`checkpoint`](StreamDigester::checkpoint). Fails if the snapshot
+    /// was produced by an incompatible version or against a different
+    /// knowledge base.
+    pub fn resume(
+        k: &'k DomainKnowledge,
+        snapshot: &StreamSnapshot,
+    ) -> Result<Self, CheckpointError> {
+        snapshot.verify(k)?;
+        Ok(Self::from_state(k, snapshot.digester.clone()))
+    }
+
+    pub(crate) fn export_state(&self) -> DigesterState {
+        fn sorted<K: Ord + Copy, V: Clone>(m: &HashMap<K, V>) -> Vec<(K, V)> {
+            let mut v: Vec<(K, V)> = m.iter().map(|(&k, val)| (k, val.clone())).collect();
+            v.sort_by_key(|&(k, _)| k);
+            v
+        }
+        DigesterState {
+            grouping: self.cfg,
+            stream: self.scfg,
+            next_seq: self.next_seq,
+            clock: self.clock,
+            since_sweep: self.since_sweep,
+            stats: self.stats.clone(),
+            open: sorted(&self.open),
+            raw: sorted(&self.raw),
+            parent: sorted(&self.parent),
+            groups: sorted(&self.groups),
+            trackers: sorted(&self.trackers),
+            recent_rules: {
+                let mut outer: crate::checkpoint::RulesLookback = self
+                    .recent_rules
+                    .iter()
+                    .map(|(&r, inner)| (r, sorted(inner)))
+                    .collect();
+                outer.sort_by_key(|&(r, _)| r);
+                outer
+            },
+            recent_cross: {
+                let mut outer: Vec<(u32, Vec<(u64, Timestamp)>)> = self
+                    .recent_cross
+                    .iter()
+                    .map(|(&t, q)| (t, q.iter().copied().collect()))
+                    .collect();
+                outer.sort_by_key(|&(t, _)| t);
+                outer
+            },
+        }
+    }
+
+    pub(crate) fn from_state(k: &'k DomainKnowledge, st: DigesterState) -> Self {
+        StreamDigester {
+            k,
+            cfg: st.grouping,
+            scfg: st.stream,
+            next_seq: st.next_seq,
+            open: st.open.into_iter().collect(),
+            raw: st.raw.into_iter().collect(),
+            parent: st.parent.into_iter().collect(),
+            groups: st.groups.into_iter().collect(),
+            trackers: st.trackers.into_iter().collect(),
+            recent_rules: st
+                .recent_rules
+                .into_iter()
+                .map(|(r, inner)| (r, inner.into_iter().collect()))
+                .collect(),
+            recent_cross: st
+                .recent_cross
+                .into_iter()
+                .map(|(t, q)| (t, q.into_iter().collect()))
+                .collect(),
+            stats: st.stats,
+            clock: st.clock,
+            since_sweep: st.since_sweep,
+        }
     }
 }
 
@@ -480,7 +703,96 @@ mod tests {
             "whatever",
         );
         sd.push(&m);
-        assert_eq!(sd.n_dropped, 1);
+        assert_eq!(sd.stats.n_dropped, 1);
         assert_eq!(sd.finish().len(), 0);
+    }
+
+    /// Wildly out-of-order pushes (which violate the documented
+    /// non-decreasing contract) must degrade, never panic.
+    #[test]
+    fn out_of_order_pushes_never_panic() {
+        let (d, k) = setup();
+        let online = d.online();
+        let mut sd = StreamDigester::new(&k, GroupingConfig::default(), 0);
+        let n = online.len().min(2000);
+        // Feed a prefix backwards, then forwards again.
+        for m in online[..n].iter().rev() {
+            sd.push(m);
+        }
+        for m in &online[..n] {
+            sd.push(m);
+        }
+        let events = sd.finish();
+        assert!(!events.is_empty());
+    }
+
+    /// The memory guard force-closes the oldest groups and counts them.
+    #[test]
+    fn max_open_messages_bounds_memory_under_a_stuck_clock() {
+        let (d, k) = setup();
+        let online = d.online();
+        let scfg = StreamConfig {
+            idle_close: 0,
+            max_open_messages: 64,
+        };
+        let mut sd = StreamDigester::with_config(&k, GroupingConfig::default(), scfg);
+        // Freeze the clock: replay a window of messages all at one instant,
+        // so the idle sweep can never fire.
+        let frozen = online[0].ts;
+        let mut peak = 0usize;
+        for m in online.iter().take(3000) {
+            let mut m = m.clone();
+            m.ts = frozen;
+            sd.push(&m);
+            peak = peak.max(sd.open_messages());
+        }
+        assert!(
+            peak <= 64 + 1,
+            "open messages peaked at {peak} despite max_open_messages=64"
+        );
+        assert!(
+            sd.stats.n_force_closed > 0,
+            "guard never fired: {:?}",
+            sd.stats
+        );
+        assert_eq!(sd.stats.n_inconsistent, 0);
+    }
+
+    /// checkpoint() → resume() roundtrips the full digester state: the
+    /// resumed digester emits exactly what the original would have.
+    #[test]
+    fn checkpoint_resume_is_exact() {
+        let (d, k) = setup();
+        let online = d.online();
+        let cut = online.len() / 2;
+
+        let mut uninterrupted = StreamDigester::new(&k, GroupingConfig::default(), 0);
+        let mut e1 = Vec::new();
+        for m in online {
+            e1.extend(uninterrupted.push(m));
+        }
+        e1.extend(uninterrupted.finish());
+
+        let mut first = StreamDigester::new(&k, GroupingConfig::default(), 0);
+        let mut e2 = Vec::new();
+        for m in &online[..cut] {
+            e2.extend(first.push(m));
+        }
+        let snap = first.checkpoint();
+        drop(first); // the "kill"
+        let json = snap.to_json().expect("snapshot serializes");
+        let snap = StreamSnapshot::from_json(&json).expect("snapshot parses");
+        let mut second = StreamDigester::resume(&k, &snap).expect("resume");
+        for m in &online[cut..] {
+            e2.extend(second.push(m));
+        }
+        e2.extend(second.finish());
+
+        let norm = |evs: &[NetworkEvent]| {
+            let mut v: Vec<Vec<usize>> = evs.iter().map(|e| e.message_idxs.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&e1), norm(&e2));
     }
 }

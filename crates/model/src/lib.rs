@@ -22,6 +22,6 @@ pub mod time;
 pub use augmented::{LocationId, LocationLevel, RouterId, SyslogPlus, TemplateId};
 pub use errorcode::{ErrorCode, Severity};
 pub use intern::Interner;
-pub use message::{sort_batch, GroundTruthId, RawMessage, Vendor};
+pub use message::{sort_batch, GroundTruthId, ParseError, RawMessage, Vendor};
 pub use par::{par_chunks, par_map, Parallelism};
 pub use time::{Timestamp, DAY, HOUR, MINUTE, WEEK};

@@ -50,6 +50,37 @@ pub struct RawMessage {
     pub gt_event: Option<GroundTruthId>,
 }
 
+/// Why a wire-format line failed to parse (see [`RawMessage::parse_line`]).
+///
+/// Real feeds truncate and garble lines (UDP loss, relay restarts, disk
+/// corruption); callers need to know *what* was wrong — to report the
+/// first few offenders with line numbers — without the parser allocating
+/// an error message per good line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParseError {
+    /// The line is empty or whitespace-only (skippable, not corruption).
+    Blank,
+    /// The line ended before the named field.
+    Missing(&'static str),
+    /// The named field was present but empty.
+    Empty(&'static str),
+    /// The first two fields do not form a `YYYY-MM-DD HH:MM:SS` timestamp.
+    BadTimestamp,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Blank => write!(f, "blank line"),
+            ParseError::Missing(field) => write!(f, "truncated line: missing {field}"),
+            ParseError::Empty(field) => write!(f, "empty {field} field"),
+            ParseError::BadTimestamp => write!(f, "malformed timestamp"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 impl RawMessage {
     /// Construct a message with no ground-truth tag.
     pub fn new(
@@ -86,25 +117,29 @@ impl RawMessage {
 
     /// Parse the wire format produced by [`RawMessage::to_line`].
     ///
-    /// Returns `None` for blank lines or lines that do not carry all four
-    /// fields — callers decide whether that is an error or skippable noise.
-    pub fn parse_line(line: &str) -> Option<Self> {
+    /// Returns a structured [`ParseError`] for blank lines or lines that
+    /// do not carry all four fields — callers decide whether that is an
+    /// error or skippable noise, and can report *why* a line was bad.
+    pub fn parse_line(line: &str) -> Result<Self, ParseError> {
         let line = line.trim_end_matches(['\r', '\n']);
         if line.trim().is_empty() {
-            return None;
+            return Err(ParseError::Blank);
         }
         // Timestamp occupies the first two whitespace-separated fields.
         let mut parts = line.splitn(5, ' ');
-        let date = parts.next()?;
-        let time = parts.next()?;
-        let router = parts.next()?;
-        let code = parts.next()?;
+        let date = parts.next().ok_or(ParseError::Missing("date"))?;
+        let time = parts.next().ok_or(ParseError::Missing("time"))?;
+        let router = parts.next().ok_or(ParseError::Missing("router"))?;
+        let code = parts.next().ok_or(ParseError::Missing("code"))?;
         let detail = parts.next().unwrap_or("");
-        if router.is_empty() || code.is_empty() {
-            return None;
+        if router.is_empty() {
+            return Err(ParseError::Empty("router"));
         }
-        let ts = Timestamp::parse(&format!("{date} {time}"))?;
-        Some(RawMessage {
+        if code.is_empty() {
+            return Err(ParseError::Empty("code"));
+        }
+        let ts = Timestamp::parse(&format!("{date} {time}")).ok_or(ParseError::BadTimestamp)?;
+        Ok(RawMessage {
             ts,
             router: router.to_owned(),
             code: ErrorCode::from(code),
@@ -167,11 +202,27 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_garbage() {
-        assert!(RawMessage::parse_line("").is_none());
-        assert!(RawMessage::parse_line("   \n").is_none());
-        assert!(RawMessage::parse_line("2010-01-10 00:00:15 r1").is_none());
-        assert!(RawMessage::parse_line("not a timestamp r1 CODE detail").is_none());
+    fn parse_rejects_garbage_with_reasons() {
+        assert_eq!(RawMessage::parse_line(""), Err(ParseError::Blank));
+        assert_eq!(RawMessage::parse_line("   \n"), Err(ParseError::Blank));
+        assert_eq!(
+            RawMessage::parse_line("2010-01-10 00:00:15 r1"),
+            Err(ParseError::Missing("code"))
+        );
+        assert_eq!(
+            RawMessage::parse_line("2010-01-10"),
+            Err(ParseError::Missing("time"))
+        );
+        assert_eq!(
+            RawMessage::parse_line("not a timestamp r1 CODE detail"),
+            Err(ParseError::BadTimestamp)
+        );
+        // Errors render as human-readable reasons for malformed-line reports.
+        assert_eq!(
+            ParseError::Missing("code").to_string(),
+            "truncated line: missing code"
+        );
+        assert_eq!(ParseError::BadTimestamp.to_string(), "malformed timestamp");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod config;
 pub mod dataset;
 pub mod events;
+pub mod faults;
 pub mod grammar;
 pub mod ip;
 pub mod scenario;
@@ -34,6 +35,7 @@ pub mod workload;
 
 pub use dataset::{Dataset, DatasetSpec};
 pub use events::{EventKind, EventSim, GtEvent};
+pub use faults::{inject, FaultReport, FaultSpec};
 pub use grammar::{Grammar, GrammarTemplate, VarKind};
 pub use topology::{TopoSpec, Topology};
 pub use workload::{Workload, WorkloadSpec};

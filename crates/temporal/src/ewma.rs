@@ -123,10 +123,10 @@ pub fn group_series(ts: &[Timestamp], cfg: &TemporalConfig) -> Vec<usize> {
 
 /// Number of clusters `group_series` would produce.
 pub fn count_groups(ts: &[Timestamp], cfg: &TemporalConfig) -> usize {
-    if ts.is_empty() {
-        return 0;
+    match group_series(ts, cfg).last() {
+        Some(&g) => g + 1,
+        None => 0,
     }
-    *group_series(ts, cfg).last().unwrap() + 1
 }
 
 #[cfg(test)]
