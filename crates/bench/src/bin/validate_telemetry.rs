@@ -1,0 +1,223 @@
+//! CI guard for the telemetry layer (see `.github/workflows/ci.yml`):
+//!
+//! * `--metrics FILE` — parse a Prometheus text-format snapshot written
+//!   by `sdigest --metrics-out`, failing on any malformed line and on
+//!   missing pipeline counters/spans;
+//! * `--trace FILE` — validate every JSONL provenance record against the
+//!   documented schema (event_id, n_messages, routers, templates, links,
+//!   closed_by);
+//! * `--baseline FILE` — re-run the digest at the baseline's scale with
+//!   telemetry enabled and assert throughput stays within `--min-ratio`
+//!   (default 0.95) of the recorded 1-thread figure, i.e. instrumentation
+//!   costs at most ~5%.
+//!
+//! Exits non-zero with a reason on the first violation.
+
+use sd_model::Parallelism;
+use sd_netsim::{Dataset, DatasetSpec};
+use sd_telemetry::{validate_exposition, Telemetry};
+use serde::Value;
+use std::time::Instant;
+use syslogdigest::offline::{learn, OfflineConfig};
+use syslogdigest::{digest_instrumented, GroupingConfig};
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::I64(n) => Some(*n as f64),
+        Value::U64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn field_u64(v: &Value, name: &str) -> Option<u64> {
+    v.get_field(name).and_then(as_u64)
+}
+
+/// Counters any digest run must have registered (batch or streaming).
+const REQUIRED_ANY: &[&[&str]] = &[
+    &["sd_digest_n_input", "sd_stream_n_input"],
+    &["sd_digest_n_events", "sd_stream_n_events"],
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate_telemetry: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn check_metrics(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+    let n = validate_exposition(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid exposition: {e}")));
+    if n == 0 {
+        fail(&format!("{path} contains no samples"));
+    }
+    for group in REQUIRED_ANY {
+        if !group
+            .iter()
+            .any(|name| text.lines().any(|l| l.starts_with(name)))
+        {
+            fail(&format!("{path} has none of the counters {group:?}"));
+        }
+    }
+    if !text.contains("sd_span_seconds_total") {
+        fail(&format!("{path} has no span timings"));
+    }
+    println!("ok: {path} — {n} samples, required counters and spans present");
+}
+
+/// One provenance record must carry these fields with these JSON types.
+fn check_trace_record(line_no: usize, v: &Value) {
+    let ctx = |field: &str| format!("trace line {line_no}: bad or missing {field:?}");
+    let id = field_u64(v, "event_id").unwrap_or_else(|| fail(&ctx("event_id")));
+    if id == 0 {
+        fail(&format!("trace line {line_no}: event_id must be >= 1"));
+    }
+    if field_u64(v, "n_messages").unwrap_or_else(|| fail(&ctx("n_messages"))) == 0 {
+        fail(&format!("trace line {line_no}: n_messages must be >= 1"));
+    }
+    let routers = v
+        .get_field("routers")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&ctx("routers")));
+    if routers.is_empty() || !routers.iter().all(|r| as_str(r).is_some()) {
+        fail(&ctx("routers"));
+    }
+    let templates = v
+        .get_field("templates")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&ctx("templates")));
+    for t in templates {
+        if field_u64(t, "id").is_none()
+            || t.get_field("signature").and_then(as_str).is_none()
+            || field_u64(t, "members").is_none()
+        {
+            fail(&ctx("templates[]"));
+        }
+    }
+    let links = v.get_field("links").unwrap_or_else(|| fail(&ctx("links")));
+    for stage in ["temporal", "rule", "cross"] {
+        if field_u64(links, stage).is_none() {
+            fail(&ctx("links"));
+        }
+    }
+    match v.get_field("closed_by").and_then(as_str) {
+        Some("batch" | "idle" | "force_closed" | "finish") => {}
+        _ => fail(&ctx("closed_by")),
+    }
+}
+
+fn check_trace(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("trace line {}: not JSON: {e}", i + 1)));
+        check_trace_record(i + 1, &v);
+        n += 1;
+    }
+    if n == 0 {
+        fail(&format!("{path} contains no trace records"));
+    }
+    println!("ok: {path} — {n} provenance records match the schema");
+}
+
+fn check_overhead(baseline: &str, min_ratio: f64) {
+    let text = std::fs::read_to_string(baseline)
+        .unwrap_or_else(|e| fail(&format!("reading {baseline}: {e}")));
+    let v: Value =
+        serde_json::parse(&text).unwrap_or_else(|e| fail(&format!("{baseline}: not JSON: {e}")));
+    let scale = v
+        .get_field("scale")
+        .and_then(as_f64)
+        .unwrap_or_else(|| fail("baseline has no scale"));
+    let reps = field_u64(&v, "reps").unwrap_or(3) as usize;
+    let base = v
+        .get_field("digest")
+        .and_then(Value::as_array)
+        .and_then(|pts| pts.iter().find(|p| field_u64(p, "threads") == Some(1)))
+        .and_then(|p| p.get_field("msgs_per_sec").and_then(as_f64))
+        .unwrap_or_else(|| fail("baseline has no 1-thread digest point"));
+
+    let d = Dataset::generate(DatasetSpec::preset_a().scaled(scale));
+    let k = learn(&d.configs, d.train(), &OfflineConfig::dataset_a());
+    let online = d.online();
+    let gcfg = GroupingConfig {
+        par: Parallelism::with_threads(1),
+        ..GroupingConfig::default()
+    };
+    let tel = Telemetry::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(digest_instrumented(&k, online, &gcfg, &tel, false));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let instrumented = online.len() as f64 / best;
+    let ratio = instrumented / base;
+    println!(
+        "overhead: baseline {base:.0} msg/s, instrumented {instrumented:.0} msg/s \
+         (ratio {ratio:.3}, floor {min_ratio})"
+    );
+    if ratio < min_ratio {
+        fail(&format!(
+            "telemetry overhead too high: instrumented throughput is \
+             {ratio:.3}x the baseline (floor {min_ratio})"
+        ));
+    }
+}
+
+fn main() {
+    let mut metrics = None;
+    let mut trace = None;
+    let mut baseline = None;
+    let mut min_ratio = 0.95;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--metrics" => metrics = args.next(),
+            "--trace" => trace = args.next(),
+            "--baseline" => baseline = args.next(),
+            "--min-ratio" => {
+                min_ratio = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("invalid --min-ratio"))
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    if metrics.is_none() && trace.is_none() && baseline.is_none() {
+        fail("nothing to validate: pass --metrics, --trace, and/or --baseline");
+    }
+    if let Some(p) = metrics {
+        check_metrics(&p);
+    }
+    if let Some(p) = trace {
+        check_trace(&p);
+    }
+    if let Some(p) = baseline {
+        check_overhead(&p, min_ratio);
+    }
+    println!("validate_telemetry: all checks passed");
+}

@@ -3,14 +3,16 @@
 use crate::args::{ArgError, Parsed};
 use sd_model::{Parallelism, ParseError, RawMessage, Vendor};
 use sd_netsim::{inject, Dataset, DatasetSpec, FaultSpec};
+use sd_telemetry::{Json, JsonlSink, LogFormat, Logger, Telemetry};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
-use std::path::Path;
-use syslogdigest::offline::{learn, OfflineConfig};
+use std::path::{Path, PathBuf};
+use syslogdigest::offline::{learn_instrumented, OfflineConfig};
 use syslogdigest::{
-    digest, DomainKnowledge, FaultTolerantIngest, GroupingConfig, StreamConfig, StreamSnapshot,
+    digest_instrumented, DomainKnowledge, EventProvenance, FaultTolerantIngest, GroupingConfig,
+    StreamConfig, StreamSnapshot,
 };
 
 type CmdResult = Result<String, ArgError>;
@@ -92,6 +94,71 @@ fn threads_arg(p: &Parsed) -> Result<Parallelism, ArgError> {
     })
 }
 
+/// `--log-format text|json` (default text): how diagnostics reach stderr.
+pub fn logger_for(p: &Parsed) -> Result<Logger, ArgError> {
+    let fmt: LogFormat = p
+        .opt("log-format")
+        .unwrap_or("text")
+        .parse()
+        .map_err(ArgError)?;
+    Ok(Logger::stderr(fmt))
+}
+
+/// `--metrics-out FILE` enables the counter/span registry; without it
+/// telemetry is a no-op.
+fn telemetry_for(p: &Parsed) -> (Telemetry, Option<PathBuf>) {
+    match p.opt("metrics-out") {
+        Some(path) => (Telemetry::new(), Some(PathBuf::from(path))),
+        None => (Telemetry::disabled(), None),
+    }
+}
+
+/// Snapshot the registry as Prometheus text exposition.
+fn write_metrics(tel: &Telemetry, path: &Path) -> Result<(), ArgError> {
+    fs::write(path, tel.snapshot().to_prometheus()).map_err(|e| io_err("writing metrics", e))
+}
+
+/// `--trace FILE` opens a JSONL sink for per-event provenance records.
+fn trace_sink(p: &Parsed) -> Result<Option<JsonlSink>, ArgError> {
+    match p.opt("trace") {
+        Some(path) => Ok(Some(
+            JsonlSink::create(Path::new(path)).map_err(|e| io_err("creating trace file", e))?,
+        )),
+        None => Ok(None),
+    }
+}
+
+fn write_trace(sink: &JsonlSink, prov: &[EventProvenance]) -> Result<(), ArgError> {
+    for record in prov {
+        sink.write(&record.to_json())
+            .map_err(|e| io_err("writing trace", e))?;
+    }
+    Ok(())
+}
+
+/// The observability outputs one command run threads through its stages:
+/// the telemetry handle, where to snapshot metrics, where to stream
+/// provenance traces, and where structured diagnostics go.
+struct Obs<'a> {
+    tel: &'a Telemetry,
+    metrics: Option<&'a Path>,
+    trace: Option<&'a JsonlSink>,
+    logger: &'a Logger,
+}
+
+/// Report sampled malformed lines through the structured log sink.
+fn log_malformed(logger: &Logger, samples: &[(usize, String)]) {
+    for (n, why) in samples {
+        logger.warn(
+            "malformed line",
+            &[
+                ("line", Json::from(*n)),
+                ("reason", Json::from(why.as_str())),
+            ],
+        );
+    }
+}
+
 fn stages(name: &str) -> Result<GroupingConfig, ArgError> {
     match name.to_ascii_uppercase().as_str() {
         "T" => Ok(GroupingConfig::t_only()),
@@ -103,7 +170,7 @@ fn stages(name: &str) -> Result<GroupingConfig, ArgError> {
     }
 }
 
-/// `sdigest generate --dataset A|B [--scale F] [--seed N] --out DIR`
+/// `sdigest generate --dataset A|B [--scale F] [--seed N] --out DIR [--metrics-out FILE]`
 ///
 /// Writes `syslog.log` (wire format), one config per router under
 /// `configs/`, and `tickets.json` for the online period.
@@ -124,7 +191,8 @@ pub fn cmd_generate(p: &Parsed) -> CmdResult {
     if (scale - 1.0).abs() > 1e-9 {
         spec = spec.scaled(scale);
     }
-    let d = Dataset::generate(spec);
+    let (tel, metrics) = telemetry_for(p);
+    let d = Dataset::generate_with(spec, &tel);
 
     fs::create_dir_all(out.join("configs")).map_err(|e| io_err("creating output dir", e))?;
     let mut log =
@@ -141,6 +209,9 @@ pub fn cmd_generate(p: &Parsed) -> CmdResult {
         .map_err(|e| ArgError(format!("serializing tickets: {e}")))?;
     fs::write(out.join("tickets.json"), tickets_json)
         .map_err(|e| io_err("writing tickets.json", e))?;
+    if let Some(mp) = &metrics {
+        write_metrics(&tel, mp)?;
+    }
 
     Ok(format!(
         "dataset {} ({:?}): {} routers, {} messages ({} train / {} online), \
@@ -161,13 +232,16 @@ pub fn cmd_generate(p: &Parsed) -> CmdResult {
     ))
 }
 
-/// `sdigest learn --configs DIR --log FILE --profile A|B --out FILE [--threads N]`
+/// `sdigest learn --configs DIR --log FILE --profile A|B --out FILE [--threads N]
+///  [--metrics-out FILE] [--log-format text|json]`
 pub fn cmd_learn(p: &Parsed) -> CmdResult {
     let cfg_dir = Path::new(p.req("configs")?);
     let log = Path::new(p.req("log")?);
     let out = Path::new(p.req("out")?);
     let mut cfg = profile(p.opt("profile").unwrap_or("A"))?;
     cfg.par = threads_arg(p)?;
+    let (tel, metrics) = telemetry_for(p);
+    let logger = logger_for(p)?;
 
     let mut configs = Vec::new();
     let mut entries: Vec<_> = fs::read_dir(cfg_dir)
@@ -184,11 +258,15 @@ pub fn cmd_learn(p: &Parsed) -> CmdResult {
         return Err(ArgError(format!("no .cfg files in {}", cfg_dir.display())));
     }
     let (msgs, bad) = read_log(log)?;
-    let k = learn(&configs, &msgs, &cfg);
+    log_malformed(&logger, &bad.samples);
+    let k = learn_instrumented(&configs, &msgs, &cfg, &tel);
     let kjson = k
         .to_json()
         .map_err(|e| ArgError(format!("serializing knowledge: {e}")))?;
     fs::write(out, kjson).map_err(|e| io_err("writing knowledge", e))?;
+    if let Some(mp) = &metrics {
+        write_metrics(&tel, mp)?;
+    }
     Ok(format!(
         "learned from {} messages ({bad}): {} templates, {} locations, \
          {} rules, alpha={} beta={} W={}s -> {}",
@@ -216,6 +294,7 @@ fn stream_digest(
     gcfg: GroupingConfig,
     log: &Path,
     out: &mut String,
+    obs: &Obs<'_>,
 ) -> Result<Vec<syslogdigest::NetworkEvent>, ArgError> {
     let max_skew: i64 = p.opt_parse("max-skew", 0)?;
     let max_open: usize = p.opt_parse("max-open", 0)?;
@@ -231,7 +310,7 @@ fn stream_digest(
         Some(path) if path.exists() => {
             let snap = StreamSnapshot::load(path)
                 .map_err(|e| ArgError(format!("loading checkpoint: {e}")))?;
-            let ing = FaultTolerantIngest::resume(k, &snap)
+            let ing = FaultTolerantIngest::resume_with_telemetry(k, &snap, obs.tel)
                 .map_err(|e| ArgError(format!("resuming from checkpoint: {e}")))?;
             let consumed = snap.lines_consumed();
             out.push_str(&format!(
@@ -241,8 +320,12 @@ fn stream_digest(
             ));
             (ing, consumed)
         }
-        _ => (FaultTolerantIngest::new(k, gcfg, scfg, max_skew), 0),
+        _ => (
+            FaultTolerantIngest::with_telemetry(k, gcfg, scfg, max_skew, obs.tel),
+            0,
+        ),
     };
+    ingest.set_trace(obs.trace.is_some());
 
     let mut events = Vec::new();
     let mut since_ckpt = 0usize;
@@ -260,6 +343,12 @@ fn stream_digest(
                     .checkpoint()
                     .save(path)
                     .map_err(|e| ArgError(format!("writing checkpoint: {e}")))?;
+                if let Some(mp) = obs.metrics {
+                    write_metrics(obs.tel, mp)?;
+                }
+                if let Some(sink) = obs.trace {
+                    write_trace(sink, &ingest.take_provenance())?;
+                }
             }
         }
     }
@@ -271,7 +360,13 @@ fn stream_digest(
     }
 
     let samples = ingest.malformed_samples().to_vec();
-    let (rest, stats) = ingest.finish();
+    if let Some(sink) = obs.trace {
+        write_trace(sink, &ingest.take_provenance())?;
+    }
+    let (rest, stats, prov) = ingest.finish_traced();
+    if let Some(sink) = obs.trace {
+        write_trace(sink, &prov)?;
+    }
     events.extend(rest);
     events.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
     out.push_str(&format!(
@@ -285,13 +380,12 @@ fn stream_digest(
         stats.digester.n_force_closed,
         events.len()
     ));
-    for (n, why) in samples {
-        out.push_str(&format!("  malformed line {n}: {why}\n"));
-    }
+    log_malformed(obs.logger, &samples);
     Ok(events)
 }
 
 /// `sdigest digest --knowledge FILE --log FILE [--top N] [--stages TRC] [--threads N]
+///  [--metrics-out FILE] [--trace FILE] [--log-format text|json]
 ///  [--stream [--max-skew S] [--max-open M] [--checkpoint FILE] [--checkpoint-every N]]`
 pub fn cmd_digest(p: &Parsed) -> CmdResult {
     let ktext =
@@ -302,13 +396,32 @@ pub fn cmd_digest(p: &Parsed) -> CmdResult {
     let top: usize = p.opt_parse("top", 20)?;
     let mut gcfg = stages(p.opt("stages").unwrap_or("TRC"))?;
     gcfg.par = threads_arg(p)?;
+    let (tel, metrics) = telemetry_for(p);
+    let logger = logger_for(p)?;
+    let trace = trace_sink(p)?;
 
     let mut out = String::new();
     let events = if p.flag("stream") {
-        stream_digest(p, &k, gcfg, log, &mut out)?
+        stream_digest(
+            p,
+            &k,
+            gcfg,
+            log,
+            &mut out,
+            &Obs {
+                tel: &tel,
+                metrics: metrics.as_deref(),
+                trace: trace.as_ref(),
+                logger: &logger,
+            },
+        )?
     } else {
         let (msgs, bad) = read_log(log)?;
-        let d = digest(&k, &msgs, &gcfg);
+        log_malformed(&logger, &bad.samples);
+        let (d, prov) = digest_instrumented(&k, &msgs, &gcfg, &tel, trace.is_some());
+        if let (Some(sink), Some(prov)) = (trace.as_ref(), prov.as_deref()) {
+            write_trace(sink, prov)?;
+        }
         out.push_str(&format!(
             "digested {} messages ({bad}, {} unknown-router) -> {} events \
              (compression {:.2e})\n",
@@ -319,6 +432,9 @@ pub fn cmd_digest(p: &Parsed) -> CmdResult {
         ));
         d.events
     };
+    if let Some(mp) = &metrics {
+        write_metrics(&tel, mp)?;
+    }
     for (i, e) in events.iter().take(top).enumerate() {
         out.push_str(&format!(
             "{:>4}. [{:>10.1}] {}  ({} msgs)\n",
@@ -329,6 +445,41 @@ pub fn cmd_digest(p: &Parsed) -> CmdResult {
         ));
     }
     Ok(out)
+}
+
+/// `sdigest explain --knowledge FILE --log FILE --event N [--stages TRC] [--threads N]`
+///
+/// Re-runs the batch digest with provenance tracing enabled and renders
+/// the full provenance of one event: which templates its messages
+/// matched, how many links each grouping stage contributed, which mined
+/// rules fired, and what closed it. Event ids are the 1-based ranks
+/// printed by `sdigest digest` (same knowledge, log, and stages).
+pub fn cmd_explain(p: &Parsed) -> CmdResult {
+    let ktext =
+        fs::read_to_string(p.req("knowledge")?).map_err(|e| io_err("reading knowledge", e))?;
+    let k = DomainKnowledge::from_json(&ktext)
+        .map_err(|e| ArgError(format!("knowledge file is not valid: {e}")))?;
+    let log = Path::new(p.req("log")?);
+    let id: u64 = p
+        .req("event")?
+        .parse()
+        .map_err(|_| ArgError("invalid value for --event: expected an event id".to_owned()))?;
+    let mut gcfg = stages(p.opt("stages").unwrap_or("TRC"))?;
+    gcfg.par = threads_arg(p)?;
+    let logger = logger_for(p)?;
+
+    let (msgs, bad) = read_log(log)?;
+    log_malformed(&logger, &bad.samples);
+    let (d, prov) = digest_instrumented(&k, &msgs, &gcfg, &Telemetry::disabled(), true);
+    let prov = prov.unwrap_or_default();
+    match prov.iter().find(|e| e.event_id == id) {
+        Some(e) => Ok(e.render_text()),
+        None => Err(ArgError(format!(
+            "no event with id {id}: this digest produced {} events (ids 1..={})",
+            d.events.len(),
+            d.events.len()
+        ))),
+    }
 }
 
 /// `sdigest stats --log FILE [--top N]` — raw per-code and per-router
@@ -406,11 +557,26 @@ pub fn usage() -> &'static str {
      USAGE:\n\
        sdigest generate --out DIR [--dataset A|B] [--scale F] [--seed N]\n\
        sdigest learn    --configs DIR --log FILE --out FILE [--profile A|B] [--threads N]\n\
+                        [--metrics-out FILE] [--log-format text|json]\n\
        sdigest digest   --knowledge FILE --log FILE [--top N] [--stages T|TR|TRC]\n\
-                        [--threads N] [--stream [--max-skew SECS] [--max-open N]\n\
+                        [--threads N] [--metrics-out FILE] [--trace FILE]\n\
+                        [--log-format text|json]\n\
+                        [--stream [--max-skew SECS] [--max-open N]\n\
                         [--checkpoint FILE] [--checkpoint-every N]]\n\
+       sdigest explain  --knowledge FILE --log FILE --event ID [--stages T|TR|TRC]\n\
+                        [--threads N]\n\
        sdigest inject   --log FILE --out FILE [--preset clean|bounded|hostile] [--seed N]\n\
-       sdigest stats    --log FILE [--top N]\n"
+       sdigest stats    --log FILE [--top N]\n\
+     \n\
+     OBSERVABILITY:\n\
+       --metrics-out FILE   write a Prometheus text-format snapshot of all\n\
+                            stage counters and span timings (updated at every\n\
+                            checkpoint and at exit)\n\
+       --trace FILE         append one JSON provenance record per emitted\n\
+                            event (templates matched, rules fired, links per\n\
+                            grouping stage, close reason)\n\
+       --log-format FORMAT  diagnostics on stderr as human text (default) or\n\
+                            one JSON object per line\n"
 }
 
 /// Dispatch a parsed command line.
@@ -419,6 +585,7 @@ pub fn dispatch(p: &Parsed) -> CmdResult {
         "generate" => cmd_generate(p),
         "learn" => cmd_learn(p),
         "digest" => cmd_digest(p),
+        "explain" => cmd_explain(p),
         "inject" => cmd_inject(p),
         "stats" => cmd_stats(p),
         "help" | "--help" => Ok(usage().to_owned()),

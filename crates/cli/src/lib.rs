@@ -19,4 +19,4 @@ pub mod args;
 pub mod commands;
 
 pub use args::{ArgError, Parsed};
-pub use commands::{cmd_digest, cmd_generate, cmd_learn, cmd_stats};
+pub use commands::{cmd_digest, cmd_explain, cmd_generate, cmd_learn, cmd_stats};

@@ -108,6 +108,7 @@ mod tests {
             label: String::new(),
             signatures: vec![],
             message_idxs: idxs,
+            id: 0,
         };
         let mut events = vec![mk(vec![1]), mk(vec![0])];
         severity_rank(&mut events, &raw);

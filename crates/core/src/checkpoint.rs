@@ -57,6 +57,10 @@ pub struct DigesterState {
     pub(crate) grouping: GroupingConfig,
     pub(crate) stream: StreamConfig,
     pub(crate) next_seq: u64,
+    /// Next event id to assign (`default` so pre-provenance snapshots
+    /// still load, restarting ids at 1).
+    #[serde(default)]
+    pub(crate) next_event_id: u64,
     pub(crate) clock: Timestamp,
     pub(crate) since_sweep: usize,
     pub(crate) stats: StreamStats,
@@ -230,6 +234,7 @@ mod tests {
             grouping: GroupingConfig::default(),
             stream: StreamConfig::default(),
             next_seq: 7,
+            next_event_id: 0,
             clock: Timestamp(1234),
             since_sweep: 3,
             stats: StreamStats {

@@ -11,6 +11,12 @@ use std::collections::HashMap;
 /// One digested network event.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkEvent {
+    /// Stable event id: the 1-based presentation rank in a batch digest,
+    /// or the emission sequence number in a stream (checkpointed, so ids
+    /// never repeat across resume). 0 only on events built directly via
+    /// [`build_event`]. `sdigest explain <id>` keys provenance on this.
+    #[serde(default)]
+    pub id: u64,
     /// Earliest member timestamp.
     pub start: Timestamp,
     /// Latest member timestamp.
@@ -110,6 +116,7 @@ pub fn build_event(
     }
 
     NetworkEvent {
+        id: 0,
         start,
         end,
         score,

@@ -2,6 +2,7 @@
 //! fused through a union-find so the stage order cannot change the result.
 
 use crate::knowledge::DomainKnowledge;
+use crate::provenance::{GroupProv, MergeCause};
 use crate::union_find::UnionFind;
 use sd_model::{par_map, Parallelism, SyslogPlus, TemplateId};
 use sd_temporal::EwmaTracker;
@@ -90,11 +91,12 @@ impl GroupingResult {
     }
 }
 
-/// Union edges + active rules produced by the router-local stages over one
-/// router shard (or, on the sequential path, the whole batch).
+/// Union edges produced by the router-local stages over one router shard
+/// (or, on the sequential path, the whole batch). Each edge carries the
+/// stage (and, for rules, the template pair) that produced it — the
+/// provenance layer consumes the causes; plain grouping ignores them.
 struct RouterLocalOutcome {
-    edges: Vec<(usize, usize)>,
-    active_rules: HashSet<(u32, u32)>,
+    edges: Vec<(usize, usize, MergeCause)>,
 }
 
 /// Run the temporal and rule-based stages over the messages selected by
@@ -108,8 +110,7 @@ fn router_local_stages(
     cfg: &GroupingConfig,
     idxs: impl Iterator<Item = usize> + Clone,
 ) -> RouterLocalOutcome {
-    let mut edges: Vec<(usize, usize)> = Vec::new();
-    let mut active_rules: HashSet<(u32, u32)> = HashSet::new();
+    let mut edges: Vec<(usize, usize, MergeCause)> = Vec::new();
 
     // ---- temporal stage -------------------------------------------------
     if cfg.temporal {
@@ -126,7 +127,7 @@ fn router_local_stages(
                 Some((tr, last)) => {
                     let new_group = tr.observe(sp.ts, &k.temporal);
                     if !new_group {
-                        edges.push((*last, i));
+                        edges.push((*last, i, MergeCause::Temporal));
                     }
                     *last = i;
                 }
@@ -160,8 +161,7 @@ fn router_local_stages(
                     None => false,
                 };
                 if spatial {
-                    edges.push((i2, j));
-                    active_rules.insert((tj.0.min(t2), tj.0.max(t2)));
+                    edges.push((i2, j, MergeCause::Rule(tj.0.min(t2), tj.0.max(t2))));
                 }
             }
             if let Some(loc) = loc_j {
@@ -175,19 +175,20 @@ fn router_local_stages(
         }
     }
 
-    RouterLocalOutcome {
-        edges,
-        active_rules,
-    }
+    RouterLocalOutcome { edges }
 }
 
-/// Group a time-sorted augmented batch. The result is identical for every
-/// `cfg.par.threads` value: the parallel path shards the router-local
-/// stages by router, and union-find partitions do not depend on the order
-/// edges are applied.
-pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) -> GroupingResult {
-    let mut uf = UnionFind::new(batch.len());
-    let mut active_rules: HashSet<(u32, u32)> = HashSet::new();
+/// All union edges of the configured stages, with their causes. The
+/// router-local stages shard by router when parallel; the cross-router
+/// stage is sequential (its state spans routers). Union-find partitions
+/// do not depend on the order edges are applied, so the edge set fully
+/// determines the grouping.
+fn collect_edges(
+    k: &DomainKnowledge,
+    batch: &[SyslogPlus],
+    cfg: &GroupingConfig,
+) -> Vec<(usize, usize, MergeCause)> {
+    let mut edges: Vec<(usize, usize, MergeCause)> = Vec::new();
 
     // ---- router-local stages (temporal + rules), sharded by router -------
     let outcomes: Vec<RouterLocalOutcome> = if cfg.par.is_sequential() {
@@ -204,10 +205,7 @@ pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) ->
         })
     };
     for outcome in outcomes {
-        for (a, b) in outcome.edges {
-            uf.union(a, b);
-        }
-        active_rules.extend(outcome.active_rules);
+        edges.extend(outcome.edges);
     }
 
     // ---- cross-router stage (sequential: state spans routers) ------------
@@ -230,7 +228,7 @@ pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) ->
                     continue;
                 }
                 if cross_related(k, sp, other) {
-                    uf.union(i2, j);
+                    edges.push((i2, j, MergeCause::Cross));
                 }
             }
             q.push_back((j, sp.ts));
@@ -240,12 +238,50 @@ pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) ->
         }
     }
 
+    edges
+}
+
+fn result_from_edges(n: usize, edges: &[(usize, usize, MergeCause)]) -> GroupingResult {
+    let mut uf = UnionFind::new(n);
+    let mut active_rules: HashSet<(u32, u32)> = HashSet::new();
+    for &(a, b, cause) in edges {
+        uf.union(a, b);
+        if let MergeCause::Rule(x, y) = cause {
+            active_rules.insert((x, y));
+        }
+    }
     let (group_of, n_groups) = uf.groups();
     GroupingResult {
         group_of,
         n_groups,
         active_rules,
     }
+}
+
+/// Group a time-sorted augmented batch. The result is identical for every
+/// `cfg.par.threads` value: the parallel path shards the router-local
+/// stages by router, and union-find partitions do not depend on the order
+/// edges are applied.
+pub fn group(k: &DomainKnowledge, batch: &[SyslogPlus], cfg: &GroupingConfig) -> GroupingResult {
+    result_from_edges(batch.len(), &collect_edges(k, batch, cfg))
+}
+
+/// [`group`] plus a per-group [`GroupProv`] link accumulator (indexed by
+/// the result's group index). The grouping itself is *identical* to
+/// [`group`] — the causes are replayed over the final partition after the
+/// fact, never consulted while merging.
+pub fn group_traced(
+    k: &DomainKnowledge,
+    batch: &[SyslogPlus],
+    cfg: &GroupingConfig,
+) -> (GroupingResult, Vec<GroupProv>) {
+    let edges = collect_edges(k, batch, cfg);
+    let result = result_from_edges(batch.len(), &edges);
+    let mut provs = vec![GroupProv::default(); result.n_groups];
+    for &(a, _, cause) in &edges {
+        provs[result.group_of[a]].record(cause);
+    }
+    (result, provs)
 }
 
 fn tkey(sp: &SyslogPlus) -> (u32, u32, u32) {

@@ -28,9 +28,11 @@ use crate::checkpoint::{CheckpointError, IngestState, StreamSnapshot};
 use crate::event::NetworkEvent;
 use crate::grouping::GroupingConfig;
 use crate::knowledge::DomainKnowledge;
+use crate::provenance::EventProvenance;
 use crate::reorder::ReorderBuffer;
 use crate::stream::{StreamConfig, StreamDigester, StreamStats};
 use sd_model::{ParseError, RawMessage};
+use sd_telemetry::{Counter, Telemetry};
 
 /// How many malformed lines to keep verbatim for diagnostics.
 const MALFORMED_SAMPLES: usize = 5;
@@ -57,8 +59,8 @@ pub struct IngestStats {
 pub struct FaultTolerantIngest<'k> {
     digester: StreamDigester<'k>,
     reorder: ReorderBuffer,
-    n_lines: usize,
-    n_malformed: usize,
+    n_lines: Counter,
+    n_malformed: Counter,
     malformed_samples: Vec<(usize, String)>,
     /// Scratch for released messages, reused across pushes.
     released: Vec<RawMessage>,
@@ -72,28 +74,52 @@ impl<'k> FaultTolerantIngest<'k> {
         scfg: StreamConfig,
         max_skew_secs: i64,
     ) -> Self {
+        Self::with_telemetry(k, cfg, scfg, max_skew_secs, &Telemetry::disabled())
+    }
+
+    /// [`new`](Self::new) with every stage counter and span registered in
+    /// `tel` (`ingest.*` and `stream.*` names).
+    pub fn with_telemetry(
+        k: &'k DomainKnowledge,
+        cfg: GroupingConfig,
+        scfg: StreamConfig,
+        max_skew_secs: i64,
+        tel: &Telemetry,
+    ) -> Self {
         FaultTolerantIngest {
-            digester: StreamDigester::with_config(k, cfg, scfg),
-            reorder: ReorderBuffer::new(max_skew_secs),
-            n_lines: 0,
-            n_malformed: 0,
+            digester: StreamDigester::with_telemetry(k, cfg, scfg, tel),
+            reorder: ReorderBuffer::with_telemetry(max_skew_secs, tel),
+            n_lines: tel.counter("ingest.n_lines"),
+            n_malformed: tel.counter("ingest.n_malformed"),
             malformed_samples: Vec::new(),
             released: Vec::new(),
         }
+    }
+
+    /// Enable or disable per-event provenance capture (see
+    /// [`StreamDigester::set_trace`]).
+    pub fn set_trace(&mut self, on: bool) {
+        self.digester.set_trace(on);
+    }
+
+    /// Drain provenance records accumulated since the last call.
+    pub fn take_provenance(&mut self) -> Vec<EventProvenance> {
+        self.digester.take_provenance()
     }
 
     /// Feed one raw feed line: parse, repair ordering, digest. Blank
     /// lines are skipped silently; malformed ones are counted and
     /// sampled. Returns any events that became closable.
     pub fn push_line(&mut self, line: &str) -> Vec<NetworkEvent> {
-        self.n_lines += 1;
+        self.n_lines.inc();
         match RawMessage::parse_line(line) {
             Ok(m) => self.push_message(m),
             Err(ParseError::Blank) => Vec::new(),
             Err(e) => {
-                self.n_malformed += 1;
+                self.n_malformed.inc();
                 if self.malformed_samples.len() < MALFORMED_SAMPLES {
-                    self.malformed_samples.push((self.n_lines, e.to_string()));
+                    self.malformed_samples
+                        .push((self.n_lines.get() as usize, e.to_string()));
                 }
                 Vec::new()
             }
@@ -108,23 +134,32 @@ impl<'k> FaultTolerantIngest<'k> {
     }
 
     /// Flush the reorder buffer and close every remaining group.
-    pub fn finish(mut self) -> (Vec<NetworkEvent>, IngestStats) {
+    pub fn finish(self) -> (Vec<NetworkEvent>, IngestStats) {
+        let (events, stats, _) = self.finish_traced();
+        (events, stats)
+    }
+
+    /// [`finish`](Self::finish), also returning the provenance records of
+    /// every event closed during the final flush (empty unless tracing
+    /// was enabled via [`set_trace`](Self::set_trace)).
+    pub fn finish_traced(mut self) -> (Vec<NetworkEvent>, IngestStats, Vec<EventProvenance>) {
         self.released.clear();
         self.reorder.flush(&mut self.released);
         let mut events = self.digester.push_batch(&self.released);
         let stats = self.stats();
-        events.extend(self.digester.finish());
-        (events, stats)
+        let (rest, prov) = self.digester.finish_traced();
+        events.extend(rest);
+        (events, stats, prov)
     }
 
-    /// Current counters (cheap clone).
+    /// Current counters (views over the registry-backed atomics).
     pub fn stats(&self) -> IngestStats {
         IngestStats {
-            n_lines: self.n_lines,
-            n_malformed: self.n_malformed,
-            n_late: self.reorder.n_late,
-            n_duplicate: self.reorder.n_duplicate,
-            digester: self.digester.stats.clone(),
+            n_lines: self.n_lines.get() as usize,
+            n_malformed: self.n_malformed.get() as usize,
+            n_late: self.reorder.n_late.get() as usize,
+            n_duplicate: self.reorder.n_duplicate.get() as usize,
+            digester: self.digester.stats(),
         }
     }
 
@@ -147,10 +182,10 @@ impl<'k> FaultTolerantIngest<'k> {
             buffered,
             high: self.reorder.high_watermark_ts(),
             max_skew_secs: self.reorder.max_skew_secs(),
-            n_lines: self.n_lines,
-            n_malformed: self.n_malformed,
-            n_late: self.reorder.n_late,
-            n_duplicate: self.reorder.n_duplicate,
+            n_lines: self.n_lines.get() as usize,
+            n_malformed: self.n_malformed.get() as usize,
+            n_late: self.reorder.n_late.get() as usize,
+            n_duplicate: self.reorder.n_duplicate.get() as usize,
             malformed_samples: self.malformed_samples.clone(),
         })
     }
@@ -161,24 +196,39 @@ impl<'k> FaultTolerantIngest<'k> {
         k: &'k DomainKnowledge,
         snapshot: &StreamSnapshot,
     ) -> Result<Self, CheckpointError> {
-        let digester = StreamDigester::resume(k, snapshot)?;
+        Self::resume_with_telemetry(k, snapshot, &Telemetry::disabled())
+    }
+
+    /// [`resume`](Self::resume) with counters and spans re-registered in
+    /// `tel`; checkpointed counter values carry over.
+    pub fn resume_with_telemetry(
+        k: &'k DomainKnowledge,
+        snapshot: &StreamSnapshot,
+        tel: &Telemetry,
+    ) -> Result<Self, CheckpointError> {
+        let digester = StreamDigester::resume_with_telemetry(k, snapshot, tel)?;
         let Some(ing) = &snapshot.ingest else {
             return Err(CheckpointError::Corrupt(
                 "snapshot carries no ingest-layer state".to_owned(),
             ));
         };
-        let reorder = ReorderBuffer::restore(
+        let reorder = ReorderBuffer::restore_with(
             ing.max_skew_secs,
             ing.high,
             ing.buffered.iter().cloned(),
             ing.n_late,
             ing.n_duplicate,
+            tel,
         );
+        let n_lines = tel.counter("ingest.n_lines");
+        n_lines.set(ing.n_lines as u64);
+        let n_malformed = tel.counter("ingest.n_malformed");
+        n_malformed.set(ing.n_malformed as u64);
         Ok(FaultTolerantIngest {
             digester,
             reorder,
-            n_lines: ing.n_lines,
-            n_malformed: ing.n_malformed,
+            n_lines,
+            n_malformed,
             malformed_samples: ing.malformed_samples.clone(),
             released: Vec::new(),
         })

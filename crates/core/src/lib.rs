@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod offline;
 pub mod pipeline;
 pub mod priority;
+pub mod provenance;
 pub mod reorder;
 pub mod stream;
 pub mod union_find;
@@ -54,15 +55,18 @@ pub mod viz;
 pub use augment::{augment, augment_batch, augment_batch_with, augment_with};
 pub use checkpoint::{CheckpointError, StreamSnapshot, SNAPSHOT_VERSION};
 pub use event::{build_event, label_for, NetworkEvent};
-pub use grouping::{group, GroupingConfig, GroupingResult};
+pub use grouping::{group, group_traced, GroupingConfig, GroupingResult};
 pub use ingest::{FaultTolerantIngest, IngestStats};
 pub use knowledge::{DomainKnowledge, UNKNOWN_TEMPLATE};
 pub use metrics::{
     compression_table, evaluate_grouping, gt_quality, per_day_series, per_router_counts, DayStats,
     GtQuality,
 };
-pub use offline::{learn, mining_stream, temporal_series, temporal_series_par, OfflineConfig};
-pub use pipeline::{digest, Digest};
+pub use offline::{
+    learn, learn_instrumented, mining_stream, temporal_series, temporal_series_par, OfflineConfig,
+};
+pub use pipeline::{digest, digest_instrumented, Digest};
 pub use priority::score_group;
+pub use provenance::{build_provenance, CloseReason, EventProvenance, GroupProv, MergeCause};
 pub use reorder::ReorderBuffer;
 pub use stream::{StreamConfig, StreamDigester, StreamStats};

@@ -8,6 +8,7 @@ use crate::knowledge::DomainKnowledge;
 use sd_locations::LocationDictionary;
 use sd_model::{par_chunks, Interner, Parallelism, RawMessage, Timestamp};
 use sd_rules::{mine, CoOccurrence, MineConfig, StreamItem};
+use sd_telemetry::Telemetry;
 use sd_templates::{learn_par as learn_templates_par, LearnerConfig, TokenScratch};
 use sd_temporal::{calibrate_par, SeriesSet, TemporalConfig};
 use serde::{Deserialize, Serialize};
@@ -74,8 +75,23 @@ impl OfflineConfig {
 
 /// Run offline learning over router configs and historical messages.
 pub fn learn(configs: &[String], train: &[RawMessage], cfg: &OfflineConfig) -> DomainKnowledge {
+    learn_instrumented(configs, train, cfg, &Telemetry::disabled())
+}
+
+/// [`learn`] with per-stage span timings and summary counters recorded
+/// into `tel`. The learned knowledge is identical — telemetry is strictly
+/// observational.
+pub fn learn_instrumented(
+    configs: &[String],
+    train: &[RawMessage],
+    cfg: &OfflineConfig,
+    tel: &Telemetry,
+) -> DomainKnowledge {
     // 1. Signature identification (parallel over per-code buckets).
-    let templates = learn_templates_par(train, &cfg.learner, cfg.par);
+    let templates = {
+        let _g = tel.time("learn.templates");
+        learn_templates_par(train, &cfg.learner, cfg.par)
+    };
 
     // 2. Per-code fallbacks for online messages that match nothing.
     let mut fallback = Interner::new();
@@ -84,7 +100,10 @@ pub fn learn(configs: &[String], train: &[RawMessage], cfg: &OfflineConfig) -> D
     }
 
     // 3. Location dictionary from configs.
-    let dict = LocationDictionary::build(configs);
+    let dict = {
+        let _g = tel.time("learn.locations");
+        LocationDictionary::build(configs)
+    };
 
     // Provisional knowledge for augmenting the historical data.
     let mut k = DomainKnowledge::new(
@@ -99,26 +118,36 @@ pub fn learn(configs: &[String], train: &[RawMessage], cfg: &OfflineConfig) -> D
 
     // 4. Augment history once (parallel over contiguous chunks); build the
     //    mining stream, the temporal series and the frequency table.
-    let (stream, series, freq) = history_pass(&k, train, cfg.par);
+    let (stream, series, freq) = {
+        let _g = tel.time("learn.history");
+        history_pass(&k, train, cfg.par)
+    };
 
     // 5. Temporal mining (Figures 10–11) unless fixed.
     let temporal = match cfg.fixed_temporal {
         Some(t) => t,
         None => {
+            let _g = tel.time("learn.calibrate");
             let set: SeriesSet = series.into_values().collect();
             calibrate_par(&set, &cfg.alphas, &cfg.betas, cfg.knee, cfg.par)
         }
     };
 
     // 6. Rule mining (transaction counting parallel per router).
-    let co = CoOccurrence::count_par(&stream, cfg.window_secs, cfg.par);
-    let rules = mine(&co, &cfg.mine);
+    let rules = {
+        let _g = tel.time("learn.rules");
+        let co = CoOccurrence::count_par(&stream, cfg.window_secs, cfg.par);
+        mine(&co, &cfg.mine)
+    };
 
     k.temporal = temporal;
     k.rules = rules;
     let templates = k.templates.clone();
     let fallback = k.fallback_codes.clone();
     let dict = k.dict.clone();
+    tel.counter("learn.n_train").add(train.len() as u64);
+    tel.counter("learn.n_templates").add(templates.len() as u64);
+    tel.counter("learn.n_rules").add(k.rules.len() as u64);
     DomainKnowledge::new(
         templates,
         fallback,

@@ -3,10 +3,12 @@
 
 use crate::augment::augment_batch_with;
 use crate::event::{build_event, NetworkEvent};
-use crate::grouping::{group, GroupingConfig, GroupingResult};
+use crate::grouping::{group, group_traced, GroupingConfig, GroupingResult};
 use crate::knowledge::DomainKnowledge;
 use crate::priority::score_group;
+use crate::provenance::{build_provenance, CloseReason, EventProvenance};
 use sd_model::RawMessage;
+use sd_telemetry::Telemetry;
 
 /// The digest of one batch (typically one day or the whole online period).
 #[derive(Debug, Clone)]
@@ -50,23 +52,83 @@ impl Digest {
 /// `cfg.par` parallelizes augmentation and the router-local grouping
 /// stages; the digest is identical for every thread count.
 pub fn digest(k: &DomainKnowledge, raw: &[RawMessage], cfg: &GroupingConfig) -> Digest {
-    let (batch, n_dropped) = augment_batch_with(k, raw, cfg.par);
-    let grouping = group(k, &batch, cfg);
+    digest_instrumented(k, raw, cfg, &Telemetry::disabled(), false).0
+}
+
+/// [`digest`] with per-stage span timings and counters recorded into
+/// `tel`, and (when `trace` is set) one [`EventProvenance`] per event,
+/// parallel to `Digest::events`. The digest itself is byte-identical to
+/// [`digest`] for every telemetry/trace combination — event ids are the
+/// 1-based presentation rank either way.
+pub fn digest_instrumented(
+    k: &DomainKnowledge,
+    raw: &[RawMessage],
+    cfg: &GroupingConfig,
+    tel: &Telemetry,
+    trace: bool,
+) -> (Digest, Option<Vec<EventProvenance>>) {
+    let (batch, n_dropped) = {
+        let _g = tel.time("digest.augment");
+        augment_batch_with(k, raw, cfg.par)
+    };
+    let (grouping, provs) = {
+        let _g = tel.time("digest.group");
+        if trace {
+            group_traced(k, &batch, cfg)
+        } else {
+            (group(k, &batch, cfg), Vec::new())
+        }
+    };
     let members = grouping.members();
-    let mut events: Vec<NetworkEvent> = members
-        .iter()
-        .map(|m| {
-            let score = score_group(k, &batch, m);
-            build_event(k, &batch, m, score)
-        })
-        .collect();
-    events.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
-    Digest {
-        events,
-        grouping,
-        n_input: raw.len(),
-        n_dropped,
+    let mut events: Vec<(usize, NetworkEvent)> = {
+        let _g = tel.time("digest.events");
+        members
+            .iter()
+            .enumerate()
+            .map(|(gi, m)| {
+                let score = score_group(k, &batch, m);
+                (gi, build_event(k, &batch, m, score))
+            })
+            .collect()
+    };
+    events.sort_by(|a, b| {
+        b.1.score
+            .total_cmp(&a.1.score)
+            .then(a.1.start.cmp(&b.1.start))
+    });
+    for (rank, (_, ev)) in events.iter_mut().enumerate() {
+        ev.id = rank as u64 + 1;
     }
+    let provenance = trace.then(|| {
+        events
+            .iter()
+            .map(|(gi, ev)| {
+                build_provenance(
+                    k,
+                    &batch,
+                    &members[*gi],
+                    provs[*gi].clone(),
+                    ev.id,
+                    CloseReason::Batch,
+                    None,
+                    None,
+                )
+            })
+            .collect()
+    });
+    let events: Vec<NetworkEvent> = events.into_iter().map(|(_, ev)| ev).collect();
+    tel.counter("digest.n_input").add(raw.len() as u64);
+    tel.counter("digest.n_dropped").add(n_dropped as u64);
+    tel.counter("digest.n_events").add(events.len() as u64);
+    (
+        Digest {
+            events,
+            grouping,
+            n_input: raw.len(),
+            n_dropped,
+        },
+        provenance,
+    )
 }
 
 #[cfg(test)]

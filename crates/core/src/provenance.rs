@@ -1,0 +1,316 @@
+//! Per-event provenance: which templates matched the member messages,
+//! which grouping stage (and which mined rule) linked each pair of
+//! sub-events, and which temporal decision closed the group.
+//!
+//! Provenance is *observational*: it is accumulated alongside grouping
+//! (cheaply enough to stay always-on in the streaming path, where it
+//! rides inside checkpoints) but never feeds back into any grouping,
+//! scoring, or presentation decision — the telemetry-neutrality tests
+//! assert digest output is byte-identical with tracing on and off.
+
+use crate::knowledge::DomainKnowledge;
+use sd_model::{SyslogPlus, TemplateId};
+use sd_telemetry::Json;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Which grouping stage merged two sub-events (§4.2.1–§4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeCause {
+    /// Temporal grouping: same (router, template, location), inter-arrival
+    /// accepted by the calibrated EWMA tracker.
+    Temporal,
+    /// Rule-based grouping: the undirected template pair of the mined
+    /// association rule that fired.
+    Rule(u32, u32),
+    /// Cross-router grouping: same template on connected locations within
+    /// the simultaneity window.
+    Cross,
+}
+
+/// Why a group stopped accepting messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloseReason {
+    /// Batch digest: groups close when the batch ends.
+    Batch,
+    /// Streaming idle close: the α/β-calibrated idle horizon elapsed with
+    /// no new member.
+    Idle,
+    /// Streaming memory bound: evicted as the oldest open group.
+    ForceClosed,
+    /// Stream finish flushed all remaining open groups.
+    Finish,
+}
+
+impl CloseReason {
+    /// Lowercase name used in traces and `sdigest explain`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CloseReason::Batch => "batch",
+            CloseReason::Idle => "idle",
+            CloseReason::ForceClosed => "force_closed",
+            CloseReason::Finish => "finish",
+        }
+    }
+}
+
+/// Link counts accumulated while a group is open. Maintained per open
+/// group in the streaming digester (and serialized inside checkpoints so
+/// provenance survives resume) and per final group in batch grouping.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupProv {
+    /// Links contributed by the temporal stage.
+    pub n_temporal: u64,
+    /// Links contributed by the cross-router stage.
+    pub n_cross: u64,
+    /// Rule firings: `((lo_template, hi_template), times_fired)`, sorted
+    /// by pair.
+    pub rules: Vec<((u32, u32), u64)>,
+}
+
+impl GroupProv {
+    /// Record one merge link.
+    pub fn record(&mut self, cause: MergeCause) {
+        match cause {
+            MergeCause::Temporal => self.n_temporal += 1,
+            MergeCause::Cross => self.n_cross += 1,
+            MergeCause::Rule(a, b) => {
+                let key = (a.min(b), a.max(b));
+                match self.rules.binary_search_by_key(&key, |(k, _)| *k) {
+                    Ok(i) => self.rules[i].1 += 1,
+                    Err(i) => self.rules.insert(i, (key, 1)),
+                }
+            }
+        }
+    }
+
+    /// Fold another accumulator in (used when two open groups union).
+    pub fn absorb(&mut self, other: &GroupProv) {
+        self.n_temporal += other.n_temporal;
+        self.n_cross += other.n_cross;
+        for &(key, n) in &other.rules {
+            match self.rules.binary_search_by_key(&key, |(k, _)| *k) {
+                Ok(i) => self.rules[i].1 += n,
+                Err(i) => self.rules.insert(i, (key, n)),
+            }
+        }
+    }
+
+    /// Total rule-stage links.
+    pub fn n_rule(&self) -> u64 {
+        self.rules.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Full provenance of one emitted event, reconstructable from its id via
+/// `sdigest explain` and streamed as one JSONL record via `--trace`.
+#[derive(Debug, Clone)]
+pub struct EventProvenance {
+    /// The event id this record explains (matches `NetworkEvent::id`).
+    pub event_id: u64,
+    /// Member message count.
+    pub n_messages: usize,
+    /// Involved router names (sorted).
+    pub routers: Vec<String>,
+    /// `(template_id, signature, members_matched)` for every template that
+    /// matched at least one member, sorted by id.
+    pub templates: Vec<(u32, String, u64)>,
+    /// Link counts per grouping stage and per fired rule.
+    pub links: GroupProv,
+    /// Signatures of the templates in each fired rule, aligned with
+    /// `links.rules`.
+    pub rule_signatures: Vec<(String, String)>,
+    /// The decision that closed the group.
+    pub closed_by: CloseReason,
+    /// For [`CloseReason::Idle`]: the observed quiet gap in seconds.
+    pub idle_gap_secs: Option<i64>,
+    /// For streaming closes: the configured idle horizon in seconds.
+    pub idle_close_secs: Option<i64>,
+}
+
+impl EventProvenance {
+    /// One JSONL trace record.
+    pub fn to_json(&self) -> Json {
+        let templates: Vec<Json> = self
+            .templates
+            .iter()
+            .map(|(id, sig, n)| {
+                Json::obj()
+                    .field("id", *id)
+                    .field("signature", sig.as_str())
+                    .field("members", *n)
+            })
+            .collect();
+        let rules: Vec<Json> = self
+            .links
+            .rules
+            .iter()
+            .zip(&self.rule_signatures)
+            .map(|(&((a, b), fired), (sa, sb))| {
+                Json::obj()
+                    .field("templates", vec![Json::U64(a.into()), Json::U64(b.into())])
+                    .field(
+                        "signatures",
+                        vec![Json::Str(sa.clone()), Json::Str(sb.clone())],
+                    )
+                    .field("fired", fired)
+            })
+            .collect();
+        let routers: Vec<Json> = self.routers.iter().map(|r| Json::Str(r.clone())).collect();
+        Json::obj()
+            .field("event_id", self.event_id)
+            .field("n_messages", self.n_messages)
+            .field("routers", routers)
+            .field("templates", templates)
+            .field(
+                "links",
+                Json::obj()
+                    .field("temporal", self.links.n_temporal)
+                    .field("rule", self.links.n_rule())
+                    .field("cross", self.links.n_cross),
+            )
+            .field("rules", rules)
+            .field("closed_by", self.closed_by.as_str())
+            .field("idle_gap_secs", self.idle_gap_secs)
+            .field("idle_close_secs", self.idle_close_secs)
+    }
+
+    /// Multi-line human rendering for `sdigest explain`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "event {}: {} messages on {}",
+            self.event_id,
+            self.n_messages,
+            self.routers.join(", ")
+        );
+        let _ = writeln!(out, "  templates matched:");
+        for (id, sig, n) in &self.templates {
+            let _ = writeln!(out, "    [{id}] x{n}  {sig}");
+        }
+        let _ = writeln!(
+            out,
+            "  links: {} temporal, {} rule, {} cross-router",
+            self.links.n_temporal,
+            self.links.n_rule(),
+            self.links.n_cross
+        );
+        if !self.links.rules.is_empty() {
+            let _ = writeln!(out, "  rules fired:");
+            for (&((a, b), fired), (sa, sb)) in self.links.rules.iter().zip(&self.rule_signatures) {
+                let _ = writeln!(out, "    ({a},{b}) x{fired}: {sa}  <->  {sb}");
+            }
+        }
+        match (self.closed_by, self.idle_gap_secs, self.idle_close_secs) {
+            (CloseReason::Idle, Some(gap), Some(h)) => {
+                let _ = writeln!(out, "  closed by: idle (quiet {gap} s > horizon {h} s)");
+            }
+            (reason, _, _) => {
+                let _ = writeln!(out, "  closed by: {}", reason.as_str());
+            }
+        }
+        out
+    }
+}
+
+/// Assemble the provenance record for one emitted event from its member
+/// messages and the link accumulator its group carried.
+#[allow(clippy::too_many_arguments)]
+pub fn build_provenance(
+    k: &DomainKnowledge,
+    batch: &[SyslogPlus],
+    members: &[usize],
+    links: GroupProv,
+    event_id: u64,
+    closed_by: CloseReason,
+    idle_gap_secs: Option<i64>,
+    idle_close_secs: Option<i64>,
+) -> EventProvenance {
+    let mut routers: Vec<String> = Vec::new();
+    let mut per_template: BTreeMap<u32, u64> = BTreeMap::new();
+    for &i in members {
+        let sp = &batch[i];
+        let rname = k.dict.routers.resolve(sp.router.0).to_owned();
+        if let Err(pos) = routers.binary_search(&rname) {
+            routers.insert(pos, rname);
+        }
+        if let Some(t) = sp.template {
+            *per_template.entry(t.0).or_insert(0) += 1;
+        }
+    }
+    let templates: Vec<(u32, String, u64)> = per_template
+        .into_iter()
+        .map(|(id, n)| (id, k.template_signature(TemplateId(id)), n))
+        .collect();
+    let rule_signatures: Vec<(String, String)> = links
+        .rules
+        .iter()
+        .map(|&((a, b), _)| {
+            (
+                k.template_signature(TemplateId(a)),
+                k.template_signature(TemplateId(b)),
+            )
+        })
+        .collect();
+    EventProvenance {
+        event_id,
+        n_messages: members.len(),
+        routers,
+        templates,
+        links,
+        rule_signatures,
+        closed_by,
+        idle_gap_secs,
+        idle_close_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_absorb_accumulate() {
+        let mut a = GroupProv::default();
+        a.record(MergeCause::Temporal);
+        a.record(MergeCause::Rule(3, 1));
+        a.record(MergeCause::Rule(1, 3));
+        let mut b = GroupProv::default();
+        b.record(MergeCause::Cross);
+        b.record(MergeCause::Rule(1, 3));
+        b.record(MergeCause::Rule(0, 2));
+        a.absorb(&b);
+        assert_eq!(a.n_temporal, 1);
+        assert_eq!(a.n_cross, 1);
+        assert_eq!(a.rules, vec![((0, 2), 1), ((1, 3), 3)]);
+        assert_eq!(a.n_rule(), 4);
+    }
+
+    #[test]
+    fn json_record_is_well_formed() {
+        let mut links = GroupProv::default();
+        links.record(MergeCause::Temporal);
+        links.record(MergeCause::Rule(0, 1));
+        let p = EventProvenance {
+            event_id: 7,
+            n_messages: 4,
+            routers: vec!["r1".into()],
+            templates: vec![(0, "LINK *".into(), 3), (1, "PROTO *".into(), 1)],
+            links,
+            rule_signatures: vec![("LINK *".into(), "PROTO *".into())],
+            closed_by: CloseReason::Idle,
+            idle_gap_secs: Some(301),
+            idle_close_secs: Some(300),
+        };
+        let s = p.to_json().render();
+        assert!(s.contains("\"event_id\":7"), "{s}");
+        assert!(s.contains("\"closed_by\":\"idle\""), "{s}");
+        assert!(s.contains("\"idle_gap_secs\":301"), "{s}");
+        assert!(s.contains("\"fired\":1"), "{s}");
+        let text = p.render_text();
+        assert!(text.contains("event 7: 4 messages on r1"), "{text}");
+        assert!(text.contains("quiet 301 s > horizon 300 s"), "{text}");
+    }
+}

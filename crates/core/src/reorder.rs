@@ -36,6 +36,7 @@
 //! never reach the digester twice.
 
 use sd_model::{ErrorCode, RawMessage, Timestamp};
+use sd_telemetry::{Counter, Telemetry};
 use std::collections::BTreeMap;
 
 /// Full-identity release key: total order even for same-second bursts, so
@@ -50,10 +51,13 @@ pub struct ReorderBuffer {
     high: Option<Timestamp>,
     max_skew: i64,
     /// Messages dropped because they arrived more than `max_skew_secs`
-    /// behind the newest message seen.
-    pub n_late: usize,
-    /// Duplicate messages absorbed while the original was still buffered.
-    pub n_duplicate: usize,
+    /// behind the newest message seen. Registry-backed (`ingest.n_late`)
+    /// when built via [`ReorderBuffer::with_telemetry`], a detached atomic
+    /// otherwise — it counts either way.
+    pub n_late: Counter,
+    /// Duplicate messages absorbed while the original was still buffered
+    /// (`ingest.n_duplicate` when registered).
+    pub n_duplicate: Counter,
 }
 
 impl ReorderBuffer {
@@ -61,6 +65,17 @@ impl ReorderBuffer {
     pub fn new(max_skew_secs: i64) -> Self {
         ReorderBuffer {
             max_skew: max_skew_secs.max(0),
+            ..ReorderBuffer::default()
+        }
+    }
+
+    /// [`new`](Self::new) with the late/duplicate counters registered in
+    /// `tel` as `ingest.n_late` / `ingest.n_duplicate`.
+    pub fn with_telemetry(max_skew_secs: i64, tel: &Telemetry) -> Self {
+        ReorderBuffer {
+            max_skew: max_skew_secs.max(0),
+            n_late: tel.counter("ingest.n_late"),
+            n_duplicate: tel.counter("ingest.n_duplicate"),
             ..ReorderBuffer::default()
         }
     }
@@ -89,7 +104,7 @@ impl ReorderBuffer {
     pub fn push(&mut self, m: RawMessage, out: &mut Vec<RawMessage>) -> bool {
         if let Some(w) = self.watermark() {
             if m.ts < w {
-                self.n_late += 1;
+                self.n_late.inc();
                 return false;
             }
         }
@@ -97,7 +112,7 @@ impl ReorderBuffer {
         let key: Key = (m.ts, m.router.clone(), m.code.clone(), m.detail.clone());
         let dup = self.buf.insert(key, m).is_some();
         if dup {
-            self.n_duplicate += 1;
+            self.n_duplicate.inc();
         }
         self.drain(out);
         !dup
@@ -145,10 +160,30 @@ impl ReorderBuffer {
         n_late: usize,
         n_duplicate: usize,
     ) -> Self {
-        let mut rb = ReorderBuffer::new(max_skew_secs);
+        Self::restore_with(
+            max_skew_secs,
+            high,
+            buffered,
+            n_late,
+            n_duplicate,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// [`restore`](Self::restore) with counters re-registered in `tel`
+    /// and set to their checkpointed values.
+    pub fn restore_with(
+        max_skew_secs: i64,
+        high: Option<Timestamp>,
+        buffered: impl IntoIterator<Item = RawMessage>,
+        n_late: usize,
+        n_duplicate: usize,
+        tel: &Telemetry,
+    ) -> Self {
+        let mut rb = ReorderBuffer::with_telemetry(max_skew_secs, tel);
         rb.high = high;
-        rb.n_late = n_late;
-        rb.n_duplicate = n_duplicate;
+        rb.n_late.set(n_late as u64);
+        rb.n_duplicate.set(n_duplicate as u64);
         for m in buffered {
             let key: Key = (m.ts, m.router.clone(), m.code.clone(), m.detail.clone());
             rb.buf.insert(key, m);
@@ -181,7 +216,7 @@ mod tests {
         let (out, rb) = release_all(30, feed);
         let ts: Vec<i64> = out.iter().map(|m| m.ts.0).collect();
         assert_eq!(ts, vec![5, 10, 20]);
-        assert_eq!(rb.n_late, 0);
+        assert_eq!(rb.n_late.get(), 0);
     }
 
     #[test]
@@ -191,7 +226,7 @@ mod tests {
         assert!(rb.push(msg(100, "r1", "a"), &mut out));
         // 85 < 100 - 10 = 90: beyond the tolerance.
         assert!(!rb.push(msg(85, "r2", "b"), &mut out));
-        assert_eq!(rb.n_late, 1);
+        assert_eq!(rb.n_late.get(), 1);
         // 95 is within tolerance and released in order.
         assert!(rb.push(msg(95, "r2", "c"), &mut out));
         rb.flush(&mut out);
@@ -204,7 +239,7 @@ mod tests {
         // Copy arrives while the original is buffered.
         let (out, rb) = release_all(30, vec![msg(10, "r1", "a"), msg(10, "r1", "a")]);
         assert_eq!(out.len(), 1);
-        assert_eq!(rb.n_duplicate, 1);
+        assert_eq!(rb.n_duplicate.get(), 1);
 
         // Copy arrives after the original was released → late-dropped.
         let mut rb = ReorderBuffer::new(5);
@@ -213,7 +248,7 @@ mod tests {
         rb.push(msg(100, "r1", "b"), &mut out); // releases ts=10
         assert_eq!(out.len(), 1);
         assert!(!rb.push(msg(10, "r1", "a"), &mut out));
-        assert_eq!(rb.n_late, 1);
+        assert_eq!(rb.n_late.get(), 1);
     }
 
     #[test]
@@ -248,6 +283,6 @@ mod tests {
         let feed: Vec<RawMessage> = (0..20).map(|i| msg(i, "r1", &format!("m{i}"))).collect();
         let (out, rb) = release_all(0, feed.clone());
         assert_eq!(out, feed);
-        assert_eq!(rb.n_late, 0);
+        assert_eq!(rb.n_late.get(), 0);
     }
 }

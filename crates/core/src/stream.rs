@@ -42,7 +42,9 @@ use crate::event::{build_event, NetworkEvent};
 use crate::grouping::GroupingConfig;
 use crate::knowledge::DomainKnowledge;
 use crate::priority::score_group;
+use crate::provenance::{build_provenance, CloseReason, EventProvenance, GroupProv, MergeCause};
 use sd_model::{par_chunks, LocationId, RawMessage, SyslogPlus, TemplateId, Timestamp};
+use sd_telemetry::{Counter, SpanHandle, Telemetry};
 use sd_templates::TokenScratch;
 use sd_temporal::EwmaTracker;
 use serde::{Deserialize, Serialize};
@@ -59,6 +61,10 @@ pub(crate) struct OpenGroup {
     pub(crate) members: Vec<u64>,
     /// Latest member timestamp (drives closure).
     pub(crate) last_ts: Timestamp,
+    /// Per-stage link accumulator (provenance; checkpointed so traces
+    /// survive resume, `default` so pre-provenance snapshots still load).
+    #[serde(default)]
+    pub(crate) prov: GroupProv,
 }
 
 /// Operational knobs of the streaming digester beyond the grouping
@@ -97,6 +103,40 @@ pub struct StreamStats {
     pub n_inconsistent: usize,
 }
 
+/// Registry-backed counters of one digester. Detached atomics when the
+/// digester runs without telemetry (they still count — [`StreamStats`] is
+/// a view over them either way), registered under `stream.*` names when a
+/// [`Telemetry`] handle is attached.
+struct StreamCounters {
+    n_input: Counter,
+    n_dropped: Counter,
+    n_force_closed: Counter,
+    n_inconsistent: Counter,
+    groups_opened: Counter,
+    groups_closed: Counter,
+    n_events: Counter,
+    links_temporal: Counter,
+    links_rule: Counter,
+    links_cross: Counter,
+}
+
+impl StreamCounters {
+    fn new(tel: &Telemetry) -> Self {
+        StreamCounters {
+            n_input: tel.counter("stream.n_input"),
+            n_dropped: tel.counter("stream.n_dropped"),
+            n_force_closed: tel.counter("stream.n_force_closed"),
+            n_inconsistent: tel.counter("stream.n_inconsistent"),
+            groups_opened: tel.counter("stream.groups_opened"),
+            groups_closed: tel.counter("stream.groups_closed"),
+            n_events: tel.counter("stream.n_events"),
+            links_temporal: tel.counter("stream.links_temporal"),
+            links_rule: tel.counter("stream.links_rule"),
+            links_cross: tel.counter("stream.links_cross"),
+        }
+    }
+}
+
 /// Incremental digester over a time-ordered syslog feed.
 pub struct StreamDigester<'k> {
     k: &'k DomainKnowledge,
@@ -118,10 +158,28 @@ pub struct StreamDigester<'k> {
     recent_rules: RecentRules,
     recent_cross: HashMap<u32, VecDeque<(u64, Timestamp)>>,
 
-    /// Drop / degradation counters.
-    pub stats: StreamStats,
+    /// Drop / degradation / throughput counters ([`StreamStats`] is a
+    /// view over these; with telemetry attached they are also exported).
+    counters: StreamCounters,
     clock: Timestamp,
     since_sweep: usize,
+
+    /// Next event id to assign (1-based emission order, checkpointed so
+    /// ids never repeat across resume).
+    next_event_id: u64,
+    /// Emit one [`EventProvenance`] per event (drained via
+    /// [`StreamDigester::take_provenance`]).
+    trace: bool,
+    /// Provenance built at close time, keyed by the group's smallest
+    /// member sequence number until [`finalize`](Self::finalize) learns
+    /// the event id.
+    pending_prov: HashMap<u64, EventProvenance>,
+    trace_out: Vec<EventProvenance>,
+
+    // Cached span handles (cheap no-ops without telemetry).
+    sp_push: SpanHandle,
+    sp_augment: SpanHandle,
+    sp_sweep: SpanHandle,
 }
 
 impl<'k> StreamDigester<'k> {
@@ -141,6 +199,18 @@ impl<'k> StreamDigester<'k> {
 
     /// New digester with explicit operational limits (see [`StreamConfig`]).
     pub fn with_config(k: &'k DomainKnowledge, cfg: GroupingConfig, scfg: StreamConfig) -> Self {
+        Self::with_telemetry(k, cfg, scfg, &Telemetry::disabled())
+    }
+
+    /// [`with_config`](Self::with_config) with counters and span timers
+    /// registered in `tel` (under `stream.*`). Telemetry never changes
+    /// what the digester emits — only what it reports.
+    pub fn with_telemetry(
+        k: &'k DomainKnowledge,
+        cfg: GroupingConfig,
+        scfg: StreamConfig,
+        tel: &Telemetry,
+    ) -> Self {
         let floor = k
             .temporal
             .s_max
@@ -161,10 +231,41 @@ impl<'k> StreamDigester<'k> {
             trackers: HashMap::new(),
             recent_rules: HashMap::new(),
             recent_cross: HashMap::new(),
-            stats: StreamStats::default(),
+            counters: StreamCounters::new(tel),
             clock: Timestamp(i64::MIN),
             since_sweep: 0,
+            next_event_id: 0,
+            trace: false,
+            pending_prov: HashMap::new(),
+            trace_out: Vec::new(),
+            sp_push: tel.span("stream.push"),
+            sp_augment: tel.span("stream.augment"),
+            sp_sweep: tel.span("stream.sweep"),
         }
+    }
+
+    /// Current counters as a plain [`StreamStats`] value (the legacy
+    /// stats struct is now a view over the registry-backed counters).
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            n_input: self.counters.n_input.get() as usize,
+            n_dropped: self.counters.n_dropped.get() as usize,
+            n_force_closed: self.counters.n_force_closed.get() as usize,
+            n_inconsistent: self.counters.n_inconsistent.get() as usize,
+        }
+    }
+
+    /// Toggle per-event provenance tracing (drain records with
+    /// [`take_provenance`](Self::take_provenance)). Tracing never changes
+    /// emitted events.
+    pub fn set_trace(&mut self, trace: bool) {
+        self.trace = trace;
+    }
+
+    /// Drain the provenance records of events emitted since the last
+    /// drain (empty unless [`set_trace`](Self::set_trace) is on).
+    pub fn take_provenance(&mut self) -> Vec<EventProvenance> {
+        std::mem::take(&mut self.trace_out)
     }
 
     /// The effective idle-closure horizon in seconds.
@@ -190,7 +291,7 @@ impl<'k> StreamDigester<'k> {
         let mut path = Vec::new();
         loop {
             let Some(&p) = self.parent.get(&x) else {
-                self.stats.n_inconsistent += 1;
+                self.counters.n_inconsistent.inc();
                 return None;
             };
             if p == x {
@@ -205,19 +306,29 @@ impl<'k> StreamDigester<'k> {
         Some(x)
     }
 
-    fn union(&mut self, a: u64, b: u64) {
+    fn union(&mut self, a: u64, b: u64, cause: MergeCause) {
         let (Some(ra), Some(rb)) = (self.find(a), self.find(b)) else {
             return; // inconsistency already counted by `find`
         };
+        match cause {
+            MergeCause::Temporal => self.counters.links_temporal.inc(),
+            MergeCause::Rule(_, _) => self.counters.links_rule.inc(),
+            MergeCause::Cross => self.counters.links_cross.inc(),
+        }
         if ra == rb {
+            // Already one group: the link still happened (the batch path
+            // records every edge too), so it still counts as provenance.
+            if let Some(g) = self.groups.get_mut(&ra) {
+                g.prov.record(cause);
+            }
             return;
         }
         let Some(ga) = self.groups.remove(&ra) else {
-            self.stats.n_inconsistent += 1;
+            self.counters.n_inconsistent.inc();
             return;
         };
         let Some(gb) = self.groups.remove(&rb) else {
-            self.stats.n_inconsistent += 1;
+            self.counters.n_inconsistent.inc();
             self.groups.insert(ra, ga);
             return;
         };
@@ -230,6 +341,8 @@ impl<'k> StreamDigester<'k> {
         self.parent.insert(child, root);
         groot.members.extend(gchild.members);
         groot.last_ts = groot.last_ts.max(gchild.last_ts);
+        groot.prov.absorb(&gchild.prov);
+        groot.prov.record(cause);
         self.groups.insert(root, groot);
     }
 
@@ -249,16 +362,20 @@ impl<'k> StreamDigester<'k> {
     ///
     /// [`push`]: StreamDigester::push
     pub fn push_batch(&mut self, msgs: &[RawMessage]) -> Vec<NetworkEvent> {
+        let _g = self.sp_push.start();
         let k = self.k;
         // Placeholder idx 0 here; the real sequence number is assigned in
         // `push_augmented` (exactly as `push` would have).
-        let augmented = par_chunks(self.cfg.par, msgs, |_, chunk| {
-            let mut scratch = TokenScratch::new();
-            chunk
-                .iter()
-                .map(|m| augment_with(k, 0, m, &mut scratch))
-                .collect::<Vec<Option<SyslogPlus>>>()
-        });
+        let augmented = {
+            let _g = self.sp_augment.start();
+            par_chunks(self.cfg.par, msgs, |_, chunk| {
+                let mut scratch = TokenScratch::new();
+                chunk
+                    .iter()
+                    .map(|m| augment_with(k, 0, m, &mut scratch))
+                    .collect::<Vec<Option<SyslogPlus>>>()
+            })
+        };
         let mut events = Vec::new();
         for (m, sp) in msgs.iter().zip(augmented.into_iter().flatten()) {
             events.extend(self.push_augmented(m, sp));
@@ -267,21 +384,25 @@ impl<'k> StreamDigester<'k> {
     }
 
     fn push_augmented(&mut self, m: &RawMessage, sp: Option<SyslogPlus>) -> Vec<NetworkEvent> {
-        self.stats.n_input += 1;
+        self.counters.n_input.inc();
         self.clock = self.clock.max(m.ts);
         let seq = self.next_seq;
         let Some(mut sp) = sp else {
-            self.stats.n_dropped += 1;
-            return self.maybe_sweep();
+            self.counters.n_dropped.inc();
+            let mut events = self.maybe_sweep();
+            self.finalize(&mut events);
+            return events;
         };
         sp.idx = seq as usize;
         self.next_seq += 1;
         self.parent.insert(seq, seq);
+        self.counters.groups_opened.inc();
         self.groups.insert(
             seq,
             OpenGroup {
                 members: vec![seq],
                 last_ts: sp.ts,
+                prov: GroupProv::default(),
             },
         );
 
@@ -303,7 +424,7 @@ impl<'k> StreamDigester<'k> {
                     let last_seq = *last;
                     *last = seq;
                     if !new_group && self.open.contains_key(&last_seq) {
-                        self.union(last_seq, seq);
+                        self.union(last_seq, seq, MergeCause::Temporal);
                     }
                 }
             }
@@ -314,7 +435,7 @@ impl<'k> StreamDigester<'k> {
             let w = self.k.window_secs;
             if let Some(tj) = sp.template {
                 let loc_j = sp.primary_location();
-                let unions: Vec<u64> = {
+                let unions: Vec<(u64, u32)> = {
                     let rmap = self.recent_rules.entry(sp.router.0).or_default();
                     let mut hits = Vec::new();
                     for (&(t2, loc2), &(i2, ts2)) in rmap.iter() {
@@ -327,7 +448,7 @@ impl<'k> StreamDigester<'k> {
                         let spatial =
                             loc_j.is_some_and(|a| self.k.dict.spatially_match(a, LocationId(loc2)));
                         if spatial {
-                            hits.push(i2);
+                            hits.push((i2, t2));
                         }
                     }
                     if let Some(loc) = loc_j {
@@ -339,9 +460,9 @@ impl<'k> StreamDigester<'k> {
                     }
                     hits
                 };
-                for i2 in unions {
+                for (i2, t2) in unions {
                     if self.open.contains_key(&i2) {
-                        self.union(i2, seq);
+                        self.union(i2, seq, MergeCause::Rule(tj.0.min(t2), tj.0.max(t2)));
                     }
                 }
             }
@@ -367,7 +488,7 @@ impl<'k> StreamDigester<'k> {
                         continue;
                     };
                     if other.router != sp.router && cross_related(self.k, &sp, other) {
-                        self.union(i2, seq);
+                        self.union(i2, seq, MergeCause::Cross);
                     }
                 }
                 let q = self.recent_cross.entry(tj.0).or_default();
@@ -382,7 +503,29 @@ impl<'k> StreamDigester<'k> {
         self.raw.insert(seq, m.clone());
         let mut events = self.maybe_sweep();
         self.enforce_open_bound(&mut events);
+        self.finalize(&mut events);
         events
+    }
+
+    /// Assign emission-order event ids (and resolve pending provenance
+    /// records to them). Runs on every emission path, unconditionally —
+    /// ids must not depend on telemetry or tracing being attached.
+    fn finalize(&mut self, events: &mut [NetworkEvent]) {
+        for ev in events.iter_mut() {
+            self.next_event_id += 1;
+            ev.id = self.next_event_id;
+            self.counters.n_events.inc();
+            if self.trace {
+                let key = ev.message_idxs.first().map(|&i| i as u64).unwrap_or(0);
+                if let Some(mut p) = self.pending_prov.remove(&key) {
+                    p.event_id = ev.id;
+                    self.trace_out.push(p);
+                }
+            }
+        }
+        if !self.trace {
+            self.pending_prov.clear();
+        }
     }
 
     fn maybe_sweep(&mut self) -> Vec<NetworkEvent> {
@@ -396,15 +539,19 @@ impl<'k> StreamDigester<'k> {
 
     /// Close and emit one group by root. Returns `None` (with the
     /// inconsistency counted) if the root has no state or no live members.
-    fn close_root(&mut self, root: u64) -> Option<NetworkEvent> {
+    fn close_root(&mut self, root: u64, reason: CloseReason) -> Option<NetworkEvent> {
         let g = self.groups.remove(&root)?;
+        let idle_gap = match reason {
+            CloseReason::Idle => Some(self.clock.seconds_since(g.last_ts)),
+            _ => None,
+        };
         // Materialize a mini-batch preserving SyslogPlus order by seq.
         let mut members = g.members;
         members.sort_unstable();
         let mut batch: Vec<SyslogPlus> = Vec::with_capacity(members.len());
         for s in &members {
             let Some(mut sp) = self.open.remove(s) else {
-                self.stats.n_inconsistent += 1;
+                self.counters.n_inconsistent.inc();
                 continue;
             };
             sp.idx = *s as usize; // global sequence number
@@ -413,15 +560,35 @@ impl<'k> StreamDigester<'k> {
             batch.push(sp);
         }
         if batch.is_empty() {
-            self.stats.n_inconsistent += 1;
+            self.counters.n_inconsistent.inc();
             return None;
         }
         let idxs: Vec<usize> = (0..batch.len()).collect();
         let score = score_group(self.k, &batch, &idxs);
-        Some(build_event(self.k, &batch, &idxs, score))
+        let ev = build_event(self.k, &batch, &idxs, score);
+        self.counters.groups_closed.inc();
+        if self.trace {
+            // Keyed by the smallest member seq until `finalize` knows the
+            // event id (event ids are assigned in emission order, after
+            // the per-sweep sort).
+            let key = ev.message_idxs.first().map(|&i| i as u64).unwrap_or(0);
+            let p = build_provenance(
+                self.k,
+                &batch,
+                &idxs,
+                g.prov,
+                0,
+                reason,
+                idle_gap,
+                Some(self.scfg.idle_close),
+            );
+            self.pending_prov.insert(key, p);
+        }
+        Some(ev)
     }
 
     fn sweep(&mut self, close_all: bool) -> Vec<NetworkEvent> {
+        let _g = self.sp_sweep.start();
         // Saturating: `clock` is i64::MIN until the first accepted
         // message, and extreme parsed timestamps must not overflow.
         let horizon = Timestamp(self.clock.0.saturating_sub(self.scfg.idle_close));
@@ -431,11 +598,20 @@ impl<'k> StreamDigester<'k> {
             .filter(|(_, g)| close_all || g.last_ts < horizon)
             .map(|(&root, _)| root)
             .collect();
+        let reason = if close_all {
+            CloseReason::Finish
+        } else {
+            CloseReason::Idle
+        };
         let mut events: Vec<NetworkEvent> = closable
             .into_iter()
-            .filter_map(|root| self.close_root(root))
+            .filter_map(|root| self.close_root(root, reason))
             .collect();
-        events.sort_by_key(|a| a.start);
+        // Total order: `start` alone ties when two groups begin the same
+        // second, and a stable sort would then keep HashMap iteration
+        // order — nondeterministic across digester instances. The lowest
+        // member sequence number breaks ties reproducibly.
+        events.sort_by_key(|a| (a.start, a.message_idxs.first().copied()));
         events
     }
 
@@ -458,18 +634,27 @@ impl<'k> StreamDigester<'k> {
             if self.open.len() <= max {
                 break;
             }
-            if let Some(ev) = self.close_root(root) {
+            if let Some(ev) = self.close_root(root, CloseReason::ForceClosed) {
                 forced.push(ev);
             }
-            self.stats.n_force_closed += 1;
+            self.counters.n_force_closed.inc();
         }
         forced.sort_by_key(|a| a.start);
         events.extend(forced);
     }
 
     /// Close and emit every remaining group (end of the feed).
-    pub fn finish(mut self) -> Vec<NetworkEvent> {
-        self.sweep(true)
+    pub fn finish(self) -> Vec<NetworkEvent> {
+        self.finish_traced().0
+    }
+
+    /// [`finish`](Self::finish), also returning the provenance records of
+    /// the final flush (plus any not yet drained). Empty unless tracing
+    /// is on.
+    pub fn finish_traced(mut self) -> (Vec<NetworkEvent>, Vec<EventProvenance>) {
+        let mut events = self.sweep(true);
+        self.finalize(&mut events);
+        (events, std::mem::take(&mut self.trace_out))
     }
 
     // ------------------------------------------------- checkpoint/restore --
@@ -488,8 +673,18 @@ impl<'k> StreamDigester<'k> {
         k: &'k DomainKnowledge,
         snapshot: &StreamSnapshot,
     ) -> Result<Self, CheckpointError> {
+        Self::resume_with_telemetry(k, snapshot, &Telemetry::disabled())
+    }
+
+    /// [`resume`](Self::resume) with counters re-registered in `tel` and
+    /// restored to their checkpointed values.
+    pub fn resume_with_telemetry(
+        k: &'k DomainKnowledge,
+        snapshot: &StreamSnapshot,
+        tel: &Telemetry,
+    ) -> Result<Self, CheckpointError> {
         snapshot.verify(k)?;
-        Ok(Self::from_state(k, snapshot.digester.clone()))
+        Ok(Self::from_state_with(k, snapshot.digester.clone(), tel))
     }
 
     pub(crate) fn export_state(&self) -> DigesterState {
@@ -502,9 +697,10 @@ impl<'k> StreamDigester<'k> {
             grouping: self.cfg,
             stream: self.scfg,
             next_seq: self.next_seq,
+            next_event_id: self.next_event_id,
             clock: self.clock,
             since_sweep: self.since_sweep,
-            stats: self.stats.clone(),
+            stats: self.stats(),
             open: sorted(&self.open),
             raw: sorted(&self.raw),
             parent: sorted(&self.parent),
@@ -531,7 +727,17 @@ impl<'k> StreamDigester<'k> {
         }
     }
 
-    pub(crate) fn from_state(k: &'k DomainKnowledge, st: DigesterState) -> Self {
+    pub(crate) fn from_state_with(
+        k: &'k DomainKnowledge,
+        st: DigesterState,
+        tel: &Telemetry,
+    ) -> Self {
+        let counters = StreamCounters::new(tel);
+        counters.n_input.set(st.stats.n_input as u64);
+        counters.n_dropped.set(st.stats.n_dropped as u64);
+        counters.n_force_closed.set(st.stats.n_force_closed as u64);
+        counters.n_inconsistent.set(st.stats.n_inconsistent as u64);
+        counters.n_events.set(st.next_event_id);
         StreamDigester {
             k,
             cfg: st.grouping,
@@ -552,9 +758,16 @@ impl<'k> StreamDigester<'k> {
                 .into_iter()
                 .map(|(t, q)| (t, q.into_iter().collect()))
                 .collect(),
-            stats: st.stats,
+            counters,
             clock: st.clock,
             since_sweep: st.since_sweep,
+            next_event_id: st.next_event_id,
+            trace: false,
+            pending_prov: HashMap::new(),
+            trace_out: Vec::new(),
+            sp_push: tel.span("stream.push"),
+            sp_augment: tel.span("stream.augment"),
+            sp_sweep: tel.span("stream.sweep"),
         }
     }
 }
@@ -703,7 +916,7 @@ mod tests {
             "whatever",
         );
         sd.push(&m);
-        assert_eq!(sd.stats.n_dropped, 1);
+        assert_eq!(sd.stats().n_dropped, 1);
         assert_eq!(sd.finish().len(), 0);
     }
 
@@ -751,11 +964,11 @@ mod tests {
             "open messages peaked at {peak} despite max_open_messages=64"
         );
         assert!(
-            sd.stats.n_force_closed > 0,
+            sd.stats().n_force_closed > 0,
             "guard never fired: {:?}",
-            sd.stats
+            sd.stats()
         );
-        assert_eq!(sd.stats.n_inconsistent, 0);
+        assert_eq!(sd.stats().n_inconsistent, 0);
     }
 
     /// checkpoint() → resume() roundtrips the full digester state: the

@@ -115,6 +115,7 @@ mod tests {
             label: label.to_owned(),
             signatures: vec![],
             message_idxs: vec![],
+            id: 0,
         }
     }
 

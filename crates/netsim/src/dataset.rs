@@ -12,6 +12,7 @@ use crate::grammar::Grammar;
 use crate::topology::{TopoSpec, Topology};
 use crate::workload::{run, KindMix, WorkloadSpec};
 use sd_model::{RawMessage, Timestamp, Vendor, DAY};
+use sd_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Full description of a synthetic dataset.
@@ -133,14 +134,27 @@ pub struct Dataset {
 impl Dataset {
     /// Generate the dataset (deterministic in the spec's seed).
     pub fn generate(spec: DatasetSpec) -> Dataset {
-        let topology = Topology::generate(&TopoSpec {
-            n_routers: spec.n_routers,
-            vendor: spec.vendor,
-            iptv: spec.iptv,
-            seed: spec.seed,
-        });
+        Self::generate_with(spec, &Telemetry::disabled())
+    }
+
+    /// [`generate`](Self::generate) with the generation stages timed in
+    /// `tel` (`netsim.topology` / `netsim.configs` / `netsim.workload`
+    /// spans, `netsim.messages` counter).
+    pub fn generate_with(spec: DatasetSpec, tel: &Telemetry) -> Dataset {
+        let topology = {
+            let _t = tel.time("netsim.topology");
+            Topology::generate(&TopoSpec {
+                n_routers: spec.n_routers,
+                vendor: spec.vendor,
+                iptv: spec.iptv,
+                seed: spec.seed,
+            })
+        };
         let grammar = Grammar::for_vendor(spec.vendor);
-        let configs = render_all(&topology);
+        let configs = {
+            let _t = tel.time("netsim.configs");
+            render_all(&topology)
+        };
         let wspec = WorkloadSpec {
             start: spec.start,
             days: spec.total_days(),
@@ -152,7 +166,11 @@ impl Dataset {
             timers_per_router: spec.timers_per_router,
             intensity: spec.intensity,
         };
-        let w = run(&topology, &grammar, &wspec);
+        let w = {
+            let _t = tel.time("netsim.workload");
+            run(&topology, &grammar, &wspec)
+        };
+        tel.counter("netsim.messages").add(w.messages.len() as u64);
         let online_start = spec.online_start();
         let online_split = w.messages.partition_point(|m| m.ts < online_start);
         Dataset {

@@ -1,0 +1,242 @@
+//! A minimal JSON value builder and a JSONL (one object per line) sink.
+//!
+//! The telemetry crate is dependency-free, so it carries its own tiny
+//! JSON *writer* (no parser): enough to render structured log records and
+//! provenance traces with correct string escaping and `null`-safe floats.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values render as `null`, as JSON has no NaN).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Start an empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Builder-style field append (no-op on non-objects).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        if let Json::Obj(fields) = &mut self {
+            fields.push((key.to_owned(), value.into()));
+        }
+        self
+    }
+
+    /// Render into `out`.
+    pub fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Render to a fresh string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(u64::from(v))
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+/// Escape `s` as a JSON string (with quotes) into `out`.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A thread-safe sink writing one JSON object per line (JSONL), flushed
+/// per record so `tail -f` on a live trace file always sees whole lines.
+pub struct JsonlSink {
+    w: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) a JSONL file at `path`.
+    pub fn create(path: &Path) -> io::Result<JsonlSink> {
+        Ok(JsonlSink::from_writer(Box::new(BufWriter::new(
+            File::create(path)?,
+        ))))
+    }
+
+    /// Wrap an arbitrary writer (used by tests to capture records).
+    pub fn from_writer(w: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink { w: Mutex::new(w) }
+    }
+
+    /// Append one record as a single line.
+    pub fn write(&self, record: &Json) -> io::Result<()> {
+        let mut line = record.render();
+        line.push('\n');
+        let mut w = self.w.lock().expect("jsonl sink poisoned");
+        w.write_all(line.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let j = Json::obj()
+            .field("id", 7u64)
+            .field("name", "a \"b\"\nc")
+            .field("ok", true)
+            .field("ratio", 0.5)
+            .field("none", Json::Null)
+            .field("xs", vec![Json::U64(1), Json::U64(2)]);
+        assert_eq!(
+            j.render(),
+            r#"{"id":7,"name":"a \"b\"\nc","ok":true,"ratio":0.5,"none":null,"xs":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(Json::Str("a\u{1}b".into()).render(), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let dir = std::env::temp_dir().join(format!("sd-tele-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.write(&Json::obj().field("a", 1u64)).unwrap();
+        sink.write(&Json::obj().field("b", 2u64)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,44 @@
+//! # sd-telemetry
+//!
+//! The unified observability layer of SyslogDigest: the digester is an
+//! operator-facing system (§6 of the paper deploys it on two tier-1
+//! networks), so the pipeline itself must be inspectable. This crate is
+//! deliberately **dependency-free** (std only) and provides four pieces,
+//! all cheap enough to leave compiled into the hot path:
+//!
+//! * [`Telemetry`] — a cloneable handle bundling an atomic
+//!   [`Counter`] registry and hierarchical [`SpanHandle`] timers.
+//!   It is *global-but-injectable*: library code takes a handle (or
+//!   constructs a disabled one), binaries either create their own or use
+//!   [`global()`]. A [`Telemetry::disabled`] handle costs nothing — span
+//!   timing is skipped entirely and counters degrade to detached atomics
+//!   (they still count, so stats views stay correct; they just are not
+//!   exported).
+//! * [`Snapshot`] / [`Snapshot::to_prometheus`] — a point-in-time dump
+//!   of every registered counter and span, and its rendering in the
+//!   Prometheus text exposition format (`--metrics-out`).
+//!   [`validate_exposition`] is the line-format checker CI runs against
+//!   emitted files.
+//! * [`Json`] / [`JsonlSink`] — a minimal JSON value builder and a
+//!   line-per-record sink used for `--trace` provenance streams.
+//! * [`Logger`] — structured operator logging with a text and a JSON
+//!   rendering (`--log-format {text,json}`), replacing ad-hoc
+//!   `eprintln!` reporting.
+//!
+//! Telemetry is strictly *observational*: attaching a handle, enabling
+//! tracing, or changing thread counts never changes any digest output —
+//! the workspace's neutrality tests assert byte-identical results with
+//! telemetry on and off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod log;
+mod prometheus;
+mod registry;
+
+pub use json::{Json, JsonlSink};
+pub use log::{LogFormat, LogLevel, Logger};
+pub use prometheus::validate_exposition;
+pub use registry::{global, Counter, Snapshot, SpanGuard, SpanHandle, SpanStat, Telemetry};

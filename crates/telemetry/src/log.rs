@@ -1,0 +1,185 @@
+//! Structured operator logging with a human text rendering and a JSONL
+//! rendering (`--log-format {text,json}`).
+
+use crate::json::Json;
+use std::io::{self, Write};
+use std::str::FromStr;
+use std::sync::Mutex;
+
+/// Log severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogLevel {
+    /// Informational progress.
+    Info,
+    /// Degradation worth an operator's attention (malformed lines, …).
+    Warn,
+    /// A failed operation.
+    Error,
+}
+
+impl LogLevel {
+    /// Lowercase name as rendered in both formats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+        }
+    }
+}
+
+/// Output format of a [`Logger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// `level: message (key=value, …)` lines for humans.
+    #[default]
+    Text,
+    /// One JSON object per line for log shippers.
+    Json,
+}
+
+impl FromStr for LogFormat {
+    type Err = String;
+    fn from_str(s: &str) -> Result<LogFormat, String> {
+        match s {
+            "text" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format {other:?} (use text or json)")),
+        }
+    }
+}
+
+/// A structured log sink. Every record has a level, a free-text message,
+/// and optional key/value fields; the format decides the rendering only —
+/// callers never format differently per format.
+pub struct Logger {
+    format: LogFormat,
+    w: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Logger {
+    /// Log to standard error in the given format (the CLI default).
+    pub fn stderr(format: LogFormat) -> Logger {
+        Logger::to_writer(format, Box::new(io::stderr()))
+    }
+
+    /// Log to an arbitrary writer (tests capture records this way).
+    pub fn to_writer(format: LogFormat, w: Box<dyn Write + Send>) -> Logger {
+        Logger {
+            format,
+            w: Mutex::new(w),
+        }
+    }
+
+    /// The configured format.
+    pub fn format(&self) -> LogFormat {
+        self.format
+    }
+
+    /// Emit one record.
+    pub fn log(&self, level: LogLevel, message: &str, fields: &[(&str, Json)]) {
+        let mut line = String::new();
+        match self.format {
+            LogFormat::Text => {
+                line.push_str(level.as_str());
+                line.push_str(": ");
+                line.push_str(message);
+                if !fields.is_empty() {
+                    line.push_str(" (");
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            line.push_str(", ");
+                        }
+                        line.push_str(k);
+                        line.push('=');
+                        match v {
+                            Json::Str(s) => line.push_str(s),
+                            other => line.push_str(&other.render()),
+                        }
+                    }
+                    line.push(')');
+                }
+            }
+            LogFormat::Json => {
+                let mut obj = Json::obj()
+                    .field("level", level.as_str())
+                    .field("message", message);
+                for (k, v) in fields {
+                    obj = obj.field(k, v.clone());
+                }
+                line = obj.render();
+            }
+        }
+        line.push('\n');
+        let mut w = self.w.lock().expect("logger poisoned");
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+
+    /// [`LogLevel::Info`] record.
+    pub fn info(&self, message: &str, fields: &[(&str, Json)]) {
+        self.log(LogLevel::Info, message, fields);
+    }
+
+    /// [`LogLevel::Warn`] record.
+    pub fn warn(&self, message: &str, fields: &[(&str, Json)]) {
+        self.log(LogLevel::Warn, message, fields);
+    }
+
+    /// [`LogLevel::Error`] record.
+    pub fn error(&self, message: &str, fields: &[(&str, Json)]) {
+        self.log(LogLevel::Error, message, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    #[derive(Clone, Default)]
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn captured(format: LogFormat) -> (Logger, Capture) {
+        let cap = Capture::default();
+        (Logger::to_writer(format, Box::new(cap.clone())), cap)
+    }
+
+    #[test]
+    fn text_format_is_human_readable() {
+        let (log, cap) = captured(LogFormat::Text);
+        log.warn(
+            "malformed line",
+            &[("line", Json::U64(3)), ("reason", "bad timestamp".into())],
+        );
+        let out = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(out, "warn: malformed line (line=3, reason=bad timestamp)\n");
+    }
+
+    #[test]
+    fn json_format_is_one_object_per_line() {
+        let (log, cap) = captured(LogFormat::Json);
+        log.error("boom", &[("code", Json::U64(2))]);
+        let out = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            out,
+            "{\"level\":\"error\",\"message\":\"boom\",\"code\":2}\n"
+        );
+    }
+
+    #[test]
+    fn format_parses() {
+        assert_eq!("text".parse::<LogFormat>().unwrap(), LogFormat::Text);
+        assert_eq!("json".parse::<LogFormat>().unwrap(), LogFormat::Json);
+        assert!("yaml".parse::<LogFormat>().is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Prometheus text exposition (format version 0.0.4) rendering of a
+//! [`Snapshot`], plus the line-format validator CI runs over emitted
+//! files.
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Prefix of every exported metric name.
+const PREFIX: &str = "sd_";
+
+/// Map a dotted registry name to a legal Prometheus metric name.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(PREFIX.len() + name.len());
+    out.push_str(PREFIX);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || (c == ':' && i > 0) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Render every counter and span in the Prometheus text exposition
+    /// format. Counters export as `sd_<name>` (dots become underscores);
+    /// spans export as two labelled families, `sd_span_seconds_total` and
+    /// `sd_span_calls_total`, one sample per span path.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let metric = sanitize(name);
+            let _ = writeln!(out, "# HELP {metric} Registry counter {name:?}.");
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {value}");
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP sd_span_seconds_total Total wall-clock seconds inside each span."
+            );
+            let _ = writeln!(out, "# TYPE sd_span_seconds_total counter");
+            for (path, stat) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "sd_span_seconds_total{{span=\"{path}\"}} {}",
+                    stat.secs()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# HELP sd_span_calls_total Completed timed calls of each span."
+            );
+            let _ = writeln!(out, "# TYPE sd_span_calls_total counter");
+            for (path, stat) in &self.spans {
+                let _ = writeln!(out, "sd_span_calls_total{{span=\"{path}\"}} {}", stat.calls);
+            }
+        }
+        out
+    }
+}
+
+/// Validate a Prometheus text exposition: every line must be a comment
+/// (`# HELP` / `# TYPE` with a legal metric name), blank, or a sample of
+/// the form `name[{label="value",…}] <float>`. Returns the number of
+/// sample lines, or a description of the first offending line.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (no, line) in text.lines().enumerate() {
+        let err = |why: &str| Err(format!("line {}: {why}: {line:?}", no + 1));
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            let Some((kind, body)) = rest.split_once(' ') else {
+                return err("bare comment (expected HELP or TYPE)");
+            };
+            if kind != "HELP" && kind != "TYPE" {
+                return err("comment is neither HELP nor TYPE");
+            }
+            let name = body.split_whitespace().next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return err("invalid metric name in comment");
+            }
+            if kind == "TYPE" {
+                let ty = body.split_whitespace().nth(1).unwrap_or("");
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return err("unknown metric type");
+                }
+            }
+            continue;
+        }
+        // Sample: name{labels} value  |  name value
+        let (name_part, value_part) = match line.find('}') {
+            Some(close) => {
+                let (head, tail) = line.split_at(close + 1);
+                let Some(open) = head.find('{') else {
+                    return err("'}' without '{'");
+                };
+                if !valid_labels(&head[open + 1..head.len() - 1]) {
+                    return err("malformed label set");
+                }
+                (&head[..open], tail)
+            }
+            None => match line.split_once(' ') {
+                Some((n, v)) => (n, v),
+                None => return err("sample has no value"),
+            },
+        };
+        if !valid_metric_name(name_part.trim_end()) {
+            return err("invalid metric name");
+        }
+        let value = value_part.trim();
+        if value.is_empty() || value.split_whitespace().count() > 2 {
+            return err("expected '<value> [timestamp]'");
+        }
+        for field in value.split_whitespace() {
+            if field.parse::<f64>().is_err()
+                && !matches!(field, "+Inf" | "-Inf" | "NaN" | "Nan" | "nan")
+            {
+                return err("value is not a float");
+            }
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_labels(body: &str) -> bool {
+    if body.trim().is_empty() {
+        return true;
+    }
+    // label="value", … — values may contain escaped quotes.
+    let mut rest = body;
+    loop {
+        let Some(eq) = rest.find('=') else {
+            return false;
+        };
+        if !valid_metric_name(rest[..eq].trim()) {
+            return false;
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return false;
+        }
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in after.char_indices().skip(1) {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else {
+            return false;
+        };
+        rest = after[end + 1..].trim_start();
+        if rest.is_empty() {
+            return true;
+        }
+        let Some(comma) = rest.strip_prefix(',') else {
+            return false;
+        };
+        rest = comma.trim_start();
+        if rest.is_empty() {
+            return true; // trailing comma tolerated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Telemetry;
+
+    #[test]
+    fn snapshot_renders_and_validates() {
+        let t = Telemetry::new();
+        t.counter("stream.n_input").add(42);
+        t.counter("ingest.n_late").add(3);
+        {
+            let _g = t.time("learn.templates");
+        }
+        let text = t.snapshot().to_prometheus();
+        assert!(text.contains("sd_stream_n_input 42"), "{text}");
+        assert!(text.contains("sd_ingest_n_late 3"), "{text}");
+        assert!(
+            text.contains("sd_span_calls_total{span=\"learn.templates\"} 1"),
+            "{text}"
+        );
+        let samples = validate_exposition(&text).expect("valid exposition");
+        assert_eq!(samples, 4, "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_exposition("sd_ok 1\n").is_ok());
+        assert!(validate_exposition("9bad_name 1\n").is_err());
+        assert!(validate_exposition("sd_ok notafloat\n").is_err());
+        assert!(validate_exposition("sd_ok{label=\"x\"} 1\n").is_ok());
+        assert!(validate_exposition("sd_ok{label=x} 1\n").is_err());
+        assert!(validate_exposition("# FOO sd_ok counter\n").is_err());
+        assert!(validate_exposition("# TYPE sd_ok rainbow\n").is_err());
+        assert!(validate_exposition("sd_ok\n").is_err());
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_dashes() {
+        assert_eq!(sanitize("stream.n_input"), "sd_stream_n_input");
+        assert_eq!(sanitize("a-b.c"), "sd_a_b_c");
+    }
+
+    #[test]
+    fn escaped_quotes_in_labels_are_accepted() {
+        assert!(validate_exposition("sd_ok{l=\"a\\\"b\"} 1\n").is_ok());
+        assert!(validate_exposition("sd_ok{l=\"unterminated} 1\n").is_err());
+    }
+}

@@ -277,6 +277,7 @@ mod tests {
         let tickets = generate_tickets(&d, 7);
         let t = &tickets[0];
         let ev_template = NetworkEvent {
+            id: 0,
             start: t.created.plus(-100),
             end: t.created.plus(100),
             score: 1.0,

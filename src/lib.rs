@@ -12,7 +12,8 @@
 //! * [`temporal`] (`sd-temporal`) — EWMA interarrival mining;
 //! * [`rules`] (`sd-rules`) — association rule mining;
 //! * [`digest`] (`syslogdigest`) — the offline + online SyslogDigest core;
-//! * [`tickets`] (`sd-tickets`) — trouble tickets and §5.3 matching.
+//! * [`tickets`] (`sd-tickets`) — trouble tickets and §5.3 matching;
+//! * [`telemetry`] (`sd-telemetry`) — counters, spans, structured logs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +22,7 @@ pub use sd_locations as locations;
 pub use sd_model as model;
 pub use sd_netsim as netsim;
 pub use sd_rules as rules;
+pub use sd_telemetry as telemetry;
 pub use sd_templates as templates;
 pub use sd_temporal as temporal;
 pub use sd_tickets as tickets;

@@ -19,7 +19,6 @@ use syslogdigest_repro::digest::knowledge::DomainKnowledge;
 use syslogdigest_repro::digest::offline::{learn, OfflineConfig};
 use syslogdigest_repro::digest::stream::StreamConfig;
 use syslogdigest_repro::digest::NetworkEvent;
-use syslogdigest_repro::model::RawMessage;
 use syslogdigest_repro::netsim::{inject, Dataset, DatasetSpec, FaultSpec};
 
 fn setup() -> &'static (Dataset, DomainKnowledge) {
