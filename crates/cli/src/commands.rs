@@ -792,6 +792,98 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    /// `explain` failure paths return clean errors (mapped to exit code 1
+    /// by `main`'s dispatch-Err arm) — never a panic, never silence.
+    #[test]
+    fn explain_rejects_missing_files_and_unknown_event_ids() {
+        let dir = tmpdir("explain-negative");
+        let out = dir.to_str().unwrap();
+        cmd_generate(&parse(&[
+            "generate",
+            "--dataset",
+            "A",
+            "--scale",
+            "0.05",
+            "--out",
+            out,
+        ]))
+        .unwrap();
+        let kpath = dir.join("knowledge.json");
+        cmd_learn(&parse(&[
+            "learn",
+            "--configs",
+            dir.join("configs").to_str().unwrap(),
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--out",
+            kpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let k = kpath.to_str().unwrap().to_owned();
+        let log = dir.join("syslog.log").to_str().unwrap().to_owned();
+
+        // Out-of-range event id: the error names the id and the valid range.
+        let args = [
+            "explain",
+            "--knowledge",
+            &k,
+            "--log",
+            &log,
+            "--event",
+            "999999",
+        ];
+        let msg = cmd_explain(&parse(&args)).unwrap_err().to_string();
+        assert!(msg.contains("no event with id 999999"), "{msg}");
+        assert!(msg.contains("ids 1..="), "{msg}");
+        // Same through the dispatcher, which is what main maps to exit 1.
+        assert!(dispatch(&parse(&args)).is_err());
+
+        // Missing log file: the I/O error keeps its context.
+        let missing = dir.join("nope.log").to_str().unwrap().to_owned();
+        let msg = cmd_explain(&parse(&[
+            "explain",
+            "--knowledge",
+            &k,
+            "--log",
+            &missing,
+            "--event",
+            "1",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(msg.contains("reading log"), "{msg}");
+
+        // Missing knowledge file, likewise.
+        let msg = cmd_explain(&parse(&[
+            "explain",
+            "--knowledge",
+            &missing,
+            "--log",
+            &log,
+            "--event",
+            "1",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(msg.contains("reading knowledge"), "{msg}");
+
+        // Non-numeric --event is rejected with a usage-style message.
+        let msg = cmd_explain(&parse(&[
+            "explain",
+            "--knowledge",
+            &k,
+            "--log",
+            &log,
+            "--event",
+            "first",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(msg.contains("invalid value for --event"), "{msg}");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn helpful_errors() {
         assert!(cmd_generate(&parse(&["generate", "--dataset", "Z", "--out", "/tmp/x"])).is_err());

@@ -1,0 +1,39 @@
+//! # sd-conformance
+//!
+//! Reference oracles and the differential conformance harness for the
+//! SyslogDigest reproduction.
+//!
+//! Every optimized path in the workspace — the indexed zero-allocation
+//! template matcher, the sharded learner, the run-compressed transaction
+//! counter, the union-find grouping — is only ever tested against itself
+//! elsewhere. This crate holds small, deliberately naive implementations
+//! of each pipeline stage written straight from the paper's equations
+//! (§4.1.1 sub-type trees, §4.1.3 EWMA interarrival clustering, §4.1.4
+//! windowed pairwise rule mining, §4.2.1–§4.2.3 grouping), with none of
+//! the production code's indexes, sharding, or incremental state:
+//!
+//! * [`ref_templates`] — recursive sub-type tree construction and a
+//!   scan-every-template matcher;
+//! * [`ref_temporal`] — the EWMA recurrence, re-derived;
+//! * [`ref_rules`] — per-anchor window enumeration and threshold checks;
+//! * [`ref_grouping`] — the three stage edge sets plus naive
+//!   label-propagation connected components.
+//!
+//! [`diff::verify_dataset`] runs reference and optimized side by side on a
+//! netsim-generated corpus and reports the **first divergence with full
+//! provenance** (message seq, template ids, the decision that differed).
+//! [`golden`] pins snapshot digests of ~6 seeds × clean/bounded/hostile
+//! corpora, regenerated via `validate_conformance --bless`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod golden;
+pub mod ref_grouping;
+pub mod ref_rules;
+pub mod ref_templates;
+pub mod ref_temporal;
+
+pub use diff::{verify_dataset, ConformanceSummary, Divergence, Stage};
+pub use golden::{GoldenEntry, GoldenFile, GOLDEN_VERSION};

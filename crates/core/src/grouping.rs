@@ -241,6 +241,22 @@ fn collect_edges(
     edges
 }
 
+/// All union edges the configured stages produce over `batch`, with the
+/// stage (and, for rules, the undirected template pair) that caused each.
+///
+/// This is the conformance seam: [`group`] is exactly a union-find fold of
+/// this edge set, so a differential oracle that compares it against an
+/// independently derived reference edge set can pinpoint the first
+/// *decision* that differed (which two messages were linked, by which
+/// stage) rather than only observing that two partitions disagree.
+pub fn stage_edges(
+    k: &DomainKnowledge,
+    batch: &[SyslogPlus],
+    cfg: &GroupingConfig,
+) -> Vec<(usize, usize, MergeCause)> {
+    collect_edges(k, batch, cfg)
+}
+
 fn result_from_edges(n: usize, edges: &[(usize, usize, MergeCause)]) -> GroupingResult {
     let mut uf = UnionFind::new(n);
     let mut active_rules: HashSet<(u32, u32)> = HashSet::new();

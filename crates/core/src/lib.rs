@@ -55,7 +55,7 @@ pub mod viz;
 pub use augment::{augment, augment_batch, augment_batch_with, augment_with};
 pub use checkpoint::{CheckpointError, StreamSnapshot, SNAPSHOT_VERSION};
 pub use event::{build_event, label_for, NetworkEvent};
-pub use grouping::{group, group_traced, GroupingConfig, GroupingResult};
+pub use grouping::{group, group_traced, stage_edges, GroupingConfig, GroupingResult};
 pub use ingest::{FaultTolerantIngest, IngestStats};
 pub use knowledge::{DomainKnowledge, UNKNOWN_TEMPLATE};
 pub use metrics::{

@@ -288,6 +288,63 @@ mod tests {
         assert_eq!(a.n_rule(), 4);
     }
 
+    /// Every `MergeCause` variant survives a JSONL encode → decode cycle
+    /// (merge causes ride inside streaming checkpoints; a variant that
+    /// fails to roundtrip would corrupt provenance across resume).
+    #[test]
+    fn merge_cause_roundtrips_through_json() {
+        for cause in [
+            MergeCause::Temporal,
+            MergeCause::Rule(0, 0),
+            MergeCause::Rule(3, 9),
+            MergeCause::Rule(u32::MAX, 1),
+            MergeCause::Cross,
+        ] {
+            let line = serde_json::to_string(&cause).expect("encodes");
+            assert!(!line.contains('\n'), "JSONL must stay one line: {line}");
+            let back: MergeCause = serde_json::from_str(&line).expect("decodes");
+            assert_eq!(back, cause, "via {line}");
+        }
+    }
+
+    /// Every `CloseReason` variant survives the same cycle, and the
+    /// variants stay distinguishable after encoding.
+    #[test]
+    fn close_reason_roundtrips_through_json() {
+        let all = [
+            CloseReason::Batch,
+            CloseReason::Idle,
+            CloseReason::ForceClosed,
+            CloseReason::Finish,
+        ];
+        let mut encodings = Vec::new();
+        for reason in all {
+            let line = serde_json::to_string(&reason).expect("encodes");
+            let back: CloseReason = serde_json::from_str(&line).expect("decodes");
+            assert_eq!(back, reason, "via {line}");
+            encodings.push(line);
+        }
+        encodings.sort();
+        encodings.dedup();
+        assert_eq!(encodings.len(), all.len(), "encodings must be distinct");
+    }
+
+    /// `GroupProv` (the accumulator checkpoints serialize per open group)
+    /// roundtrips with rule pairs and counts intact.
+    #[test]
+    fn group_prov_roundtrips_through_json() {
+        let mut links = GroupProv::default();
+        links.record(MergeCause::Temporal);
+        links.record(MergeCause::Cross);
+        links.record(MergeCause::Rule(5, 2));
+        links.record(MergeCause::Rule(2, 5));
+        links.record(MergeCause::Rule(7, 8));
+        let line = serde_json::to_string(&links).expect("encodes");
+        let back: GroupProv = serde_json::from_str(&line).expect("decodes");
+        assert_eq!(back, links);
+        assert_eq!(back.n_rule(), 3);
+    }
+
     #[test]
     fn json_record_is_well_formed() {
         let mut links = GroupProv::default();

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod corpus;
 pub mod dataset;
 pub mod events;
 pub mod faults;
@@ -33,6 +34,7 @@ pub mod scenario;
 pub mod topology;
 pub mod workload;
 
+pub use corpus::{Corpus, GOLDEN_SCALE, GOLDEN_SEEDS};
 pub use dataset::{Dataset, DatasetSpec};
 pub use events::{EventKind, EventSim, GtEvent};
 pub use faults::{inject, FaultReport, FaultSpec};

@@ -13,11 +13,14 @@
 //! * [`rules`] (`sd-rules`) — association rule mining;
 //! * [`digest`] (`syslogdigest`) — the offline + online SyslogDigest core;
 //! * [`tickets`] (`sd-tickets`) — trouble tickets and §5.3 matching;
-//! * [`telemetry`] (`sd-telemetry`) — counters, spans, structured logs.
+//! * [`telemetry`] (`sd-telemetry`) — counters, spans, structured logs;
+//! * [`conformance`] (`sd-conformance`) — paper-faithful reference oracles
+//!   and the differential conformance harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sd_conformance as conformance;
 pub use sd_locations as locations;
 pub use sd_model as model;
 pub use sd_netsim as netsim;

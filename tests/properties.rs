@@ -268,6 +268,74 @@ proptest! {
     }
 }
 
+// -------------------------------------------------------- reorder buffer --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Duplicate copies injected at arbitrary offsets within the skew
+    /// window never change the released sequence, never register as late,
+    /// and increment `n_duplicate` exactly once each.
+    ///
+    /// Construction keeps every duplicate absorbable by design: inter-
+    /// arrival gaps are ≤ 2 s and a copy of message `i` is delivered at
+    /// most 5 arrivals later, so at delivery the high watermark exceeds
+    /// `ts_i` by at most 10 s — exactly the buffer's tolerance — and the
+    /// original is still buffered when its copy arrives.
+    #[test]
+    fn reorder_buffer_absorbs_duplicates_exactly_once(
+        deltas in proptest::collection::vec(0i64..=2, 5..80),
+        dups in proptest::collection::vec((0usize..80, 1usize..=5), 0..20),
+    ) {
+        use syslogdigest_repro::digest::ReorderBuffer;
+
+        // Clean feed with unique message identities.
+        let mut ts = 0i64;
+        let clean: Vec<RawMessage> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                ts += d;
+                RawMessage::new(
+                    Timestamp(ts),
+                    "r1",
+                    ErrorCode::from("A-1-X"),
+                    format!("m{i}"),
+                )
+            })
+            .collect();
+
+        let run = |feeds: &[Vec<RawMessage>]| {
+            let mut rb = ReorderBuffer::new(10);
+            let mut out = Vec::new();
+            for batch in feeds {
+                for m in batch {
+                    rb.push(m.clone(), &mut out);
+                }
+            }
+            rb.flush(&mut out);
+            (out, rb.n_duplicate.get(), rb.n_late.get())
+        };
+
+        let clean_feed: Vec<Vec<RawMessage>> = clean.iter().map(|m| vec![m.clone()]).collect();
+        let (clean_out, d0, l0) = run(&clean_feed);
+        prop_assert_eq!(d0, 0);
+        prop_assert_eq!(l0, 0);
+
+        // Deliver a copy of message `i` right after arrival `i + offset`.
+        let mut faulted = clean_feed;
+        for &(i, offset) in &dups {
+            let i = i % clean.len();
+            let j = (i + offset).min(clean.len() - 1);
+            faulted[j].push(clean[i].clone());
+        }
+        let (out, n_dup, n_late) = run(&faulted);
+        prop_assert_eq!(&out, &clean_out, "duplicates changed the release");
+        prop_assert_eq!(n_dup, dups.len() as u64);
+        prop_assert_eq!(n_late, 0);
+    }
+}
+
 // A compile-time check that SyslogPlus stays Send + Sync (the streaming
 // digester shares batches across threads in the benches).
 const _: fn() = || {
