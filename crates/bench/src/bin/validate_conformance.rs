@@ -16,13 +16,19 @@
 //! * `--golden PATH` — golden file (default: the checked-in one);
 //! * `--bless` — regenerate the golden file instead of comparing;
 //! * `--scale F`, `--seeds a,b,c`, `--threads N`, `--skew S` — corpus
-//!   shape overrides (the defaults are what the golden file pins).
+//!   shape overrides (the defaults are what the golden file pins);
+//! * `--recovery` — run the crash/corrupt/recover/replay conformance
+//!   matrix instead ([`sd_conformance::verify_recovery`]): for each seed,
+//!   every storage-fault kind must recover to a verifiable checkpoint
+//!   generation losing at most one checkpoint interval, and the recovered
+//!   replay must digest identically to the uninterrupted run.
 //!
 //! Exits non-zero with full provenance on the first divergence.
 
 use sd_conformance::golden::{compute_entry, default_golden_path, GoldenEntry};
 use sd_conformance::{GoldenFile, GOLDEN_VERSION};
 use sd_netsim::corpus::{Corpus, GOLDEN_SCALE, GOLDEN_SEEDS};
+use sd_netsim::{inject, FaultSpec};
 use syslogdigest::offline::{learn, OfflineConfig};
 use syslogdigest::GroupingConfig;
 
@@ -69,9 +75,44 @@ fn compare(seed: u64, variant: &str, pinned: &GoldenEntry, got: &GoldenEntry) {
     }
 }
 
+/// `--recovery` mode: per seed, stream the bounded-faulted feed with
+/// rotated checkpoints, damage the newest generation with every storage
+/// fault, and demand recovery within one interval plus a byte-identical
+/// replay (see [`sd_conformance::verify_recovery`]).
+fn run_recovery(seeds: &[u64], scale: f64, skew: i64) {
+    let ocfg = OfflineConfig::dataset_a();
+    for &seed in seeds {
+        let corpus = Corpus::generate(seed, scale);
+        let d = &corpus.dataset;
+        let k = learn(&d.configs, d.train(), &ocfg);
+        let (lines, _) = inject(d.online(), &FaultSpec::bounded(seed));
+        let every = (lines.len() / 5).max(1);
+        let dir = std::env::temp_dir().join(format!("sd-recovery-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        match sd_conformance::verify_recovery(&k, &lines, skew, every, 2, seed, &dir) {
+            Ok(outcomes) => {
+                println!(
+                    "ok: seed {seed} recovery conformant — {} lines, interval {every}",
+                    lines.len()
+                );
+                for o in &outcomes {
+                    println!("   seed {seed} {o}");
+                }
+            }
+            Err(e) => fail(&format!("seed {seed}: {e}")),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!(
+        "validate_conformance: all {} seeds recover from every storage fault",
+        seeds.len()
+    );
+}
+
 fn main() {
     let mut golden_path = default_golden_path();
     let mut bless = false;
+    let mut recovery = false;
     let mut scale = GOLDEN_SCALE;
     let mut seeds: Vec<u64> = GOLDEN_SEEDS.to_vec();
     let mut threads = 4usize;
@@ -81,6 +122,7 @@ fn main() {
         match a.as_str() {
             "--golden" => golden_path = args.next().unwrap_or_else(|| fail("missing --golden")),
             "--bless" => bless = true,
+            "--recovery" => recovery = true,
             "--scale" => {
                 scale = args
                     .next()
@@ -108,6 +150,11 @@ fn main() {
             }
             other => fail(&format!("unknown argument {other:?}")),
         }
+    }
+
+    if recovery {
+        run_recovery(&seeds, scale, skew);
+        return;
     }
 
     let pinned = if bless {

@@ -9,7 +9,10 @@
 //! * `--baseline FILE` — re-run the digest at the baseline's scale with
 //!   telemetry enabled and assert throughput stays within `--min-ratio`
 //!   (default 0.95) of the recorded 1-thread figure, i.e. instrumentation
-//!   costs at most ~5%.
+//!   costs at most ~5%;
+//! * `--require-durability` — additionally require the durability
+//!   counters (`sd_ckpt_n_corrupt`, `sd_ckpt_n_fallback`, and a
+//!   quarantine counter) in the `--metrics` snapshot.
 //!
 //! Exits non-zero with a reason on the first violation.
 
@@ -55,12 +58,20 @@ const REQUIRED_ANY: &[&[&str]] = &[
     &["sd_digest_n_events", "sd_stream_n_events"],
 ];
 
+/// Counters a durability-exercising run (`--require-durability`) must
+/// also expose: checkpoint recovery health and the quarantine count.
+const REQUIRED_DURABILITY: &[&[&str]] = &[
+    &["sd_ckpt_n_corrupt"],
+    &["sd_ckpt_n_fallback"],
+    &["sd_stream_n_quarantined", "sd_digest_n_quarantined"],
+];
+
 fn fail(msg: &str) -> ! {
     eprintln!("validate_telemetry: FAIL: {msg}");
     std::process::exit(1);
 }
 
-fn check_metrics(path: &str) {
+fn check_metrics(path: &str, require_durability: bool) {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
     let n = validate_exposition(&text)
@@ -68,7 +79,11 @@ fn check_metrics(path: &str) {
     if n == 0 {
         fail(&format!("{path} contains no samples"));
     }
-    for group in REQUIRED_ANY {
+    let mut required: Vec<&[&str]> = REQUIRED_ANY.to_vec();
+    if require_durability {
+        required.extend(REQUIRED_DURABILITY);
+    }
+    for group in required {
         if !group
             .iter()
             .any(|name| text.lines().any(|l| l.starts_with(name)))
@@ -192,6 +207,7 @@ fn main() {
     let mut trace = None;
     let mut baseline = None;
     let mut min_ratio = 0.95;
+    let mut require_durability = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -204,6 +220,7 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| fail("invalid --min-ratio"))
             }
+            "--require-durability" => require_durability = true,
             other => fail(&format!("unknown argument {other:?}")),
         }
     }
@@ -211,7 +228,7 @@ fn main() {
         fail("nothing to validate: pass --metrics, --trace, and/or --baseline");
     }
     if let Some(p) = metrics {
-        check_metrics(&p);
+        check_metrics(&p, require_durability);
     }
     if let Some(p) = trace {
         check_trace(&p);

@@ -2,7 +2,7 @@
 
 use crate::args::{ArgError, Parsed};
 use sd_model::{Parallelism, ParseError, RawMessage, Vendor};
-use sd_netsim::{inject, Dataset, DatasetSpec, FaultSpec};
+use sd_netsim::{apply_fault, inject, Dataset, DatasetSpec, FaultSpec, StorageFault};
 use sd_telemetry::{Json, JsonlSink, LogFormat, Logger, Telemetry};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use syslogdigest::offline::{learn_instrumented, OfflineConfig};
 use syslogdigest::{
     digest_instrumented, DomainKnowledge, EventProvenance, FaultTolerantIngest, GroupingConfig,
-    StreamConfig, StreamSnapshot,
+    QuarantineRecord, StreamConfig,
 };
 
 type CmdResult = Result<String, ArgError>;
@@ -136,6 +136,24 @@ fn write_trace(sink: &JsonlSink, prov: &[EventProvenance]) -> Result<(), ArgErro
     Ok(())
 }
 
+/// `--quarantine-out FILE` opens a JSONL sidecar for messages whose
+/// augmentation panicked (quarantined rather than crashing the run).
+fn quarantine_sink(p: &Parsed) -> Result<Option<fs::File>, ArgError> {
+    match p.opt("quarantine-out") {
+        Some(path) => Ok(Some(
+            fs::File::create(Path::new(path)).map_err(|e| io_err("creating quarantine file", e))?,
+        )),
+        None => Ok(None),
+    }
+}
+
+fn write_quarantine(sink: &mut fs::File, records: &[QuarantineRecord]) -> Result<(), ArgError> {
+    for rec in records {
+        writeln!(sink, "{}", rec.to_json()).map_err(|e| io_err("writing quarantine file", e))?;
+    }
+    Ok(())
+}
+
 /// The observability outputs one command run threads through its stages:
 /// the telemetry handle, where to snapshot metrics, where to stream
 /// provenance traces, and where structured diagnostics go.
@@ -157,6 +175,13 @@ fn log_malformed(logger: &Logger, samples: &[(usize, String)]) {
             ],
         );
     }
+}
+
+/// Load a knowledge base, accepting both the enveloped (checksummed)
+/// format written by `sdigest learn` and legacy raw-JSON files.
+fn load_knowledge(p: &Parsed) -> Result<DomainKnowledge, ArgError> {
+    DomainKnowledge::load(Path::new(p.req("knowledge")?))
+        .map_err(|e| ArgError(format!("reading knowledge: {e}")))
 }
 
 fn stages(name: &str) -> Result<GroupingConfig, ArgError> {
@@ -260,10 +285,8 @@ pub fn cmd_learn(p: &Parsed) -> CmdResult {
     let (msgs, bad) = read_log(log)?;
     log_malformed(&logger, &bad.samples);
     let k = learn_instrumented(&configs, &msgs, &cfg, &tel);
-    let kjson = k
-        .to_json()
-        .map_err(|e| ArgError(format!("serializing knowledge: {e}")))?;
-    fs::write(out, kjson).map_err(|e| io_err("writing knowledge", e))?;
+    k.save(out)
+        .map_err(|e| ArgError(format!("writing knowledge: {e}")))?;
     if let Some(mp) = &metrics {
         write_metrics(&tel, mp)?;
     }
@@ -286,8 +309,14 @@ pub fn cmd_learn(p: &Parsed) -> CmdResult {
 ///
 /// * `--max-skew S` — reorder tolerance in seconds (default 0);
 /// * `--max-open M` — force-close oldest groups beyond M open messages;
-/// * `--checkpoint FILE` — resume from FILE if present, and write a
-///   snapshot there every `--checkpoint-every N` lines (default 10000).
+/// * `--checkpoint FILE` — resume from the newest verifiable snapshot
+///   generation at FILE (falling back past corrupt ones), and write a
+///   rotated snapshot there every `--checkpoint-every N` lines
+///   (default 10000);
+/// * `--checkpoint-keep K` — previous generations kept alongside the
+///   newest (`FILE.1`, `FILE.2`, …; default 2);
+/// * `--quarantine-out FILE` — JSONL sidecar for messages whose
+///   augmentation panicked (the run continues without them).
 fn stream_digest(
     p: &Parsed,
     k: &DomainKnowledge,
@@ -299,26 +328,31 @@ fn stream_digest(
     let max_skew: i64 = p.opt_parse("max-skew", 0)?;
     let max_open: usize = p.opt_parse("max-open", 0)?;
     let every: usize = p.opt_parse("checkpoint-every", 10_000)?;
+    let keep: usize = p.opt_parse("checkpoint-keep", 2)?;
     let ckpt = p.opt("checkpoint").map(Path::new);
+    let mut qsink = quarantine_sink(p)?;
     let scfg = StreamConfig {
         idle_close: 0,
         max_open_messages: max_open,
     };
 
     let text = fs::read_to_string(log).map_err(|e| io_err("reading log", e))?;
-    let (mut ingest, mut skip) = match ckpt {
-        Some(path) if path.exists() => {
-            let snap = StreamSnapshot::load(path)
-                .map_err(|e| ArgError(format!("loading checkpoint: {e}")))?;
-            let ing = FaultTolerantIngest::resume_with_telemetry(k, &snap, obs.tel)
-                .map_err(|e| ArgError(format!("resuming from checkpoint: {e}")))?;
-            let consumed = snap.lines_consumed();
+    let recovered = match ckpt {
+        Some(path) => FaultTolerantIngest::recover_with_telemetry(k, path, keep, obs.tel)
+            .map_err(|e| ArgError(format!("resuming from checkpoint: {e}")))?,
+        None => None,
+    };
+    let (mut ingest, mut skip) = match (recovered, ckpt) {
+        (Some((ing, report)), Some(path)) => {
             out.push_str(&format!(
-                "resumed from {} ({} lines already consumed)\n",
+                "resumed from {} (generation {}, {} lines already consumed, \
+                 {} corrupt generation(s) skipped)\n",
                 path.display(),
-                consumed
+                report.generation,
+                report.lines_consumed,
+                report.n_corrupt,
             ));
-            (ing, consumed)
+            (ing, report.lines_consumed)
         }
         _ => (
             FaultTolerantIngest::with_telemetry(k, gcfg, scfg, max_skew, obs.tel),
@@ -341,7 +375,7 @@ fn stream_digest(
                 since_ckpt = 0;
                 ingest
                     .checkpoint()
-                    .save(path)
+                    .save_rotated(path, keep)
                     .map_err(|e| ArgError(format!("writing checkpoint: {e}")))?;
                 if let Some(mp) = obs.metrics {
                     write_metrics(obs.tel, mp)?;
@@ -349,13 +383,16 @@ fn stream_digest(
                 if let Some(sink) = obs.trace {
                     write_trace(sink, &ingest.take_provenance())?;
                 }
+                if let Some(sink) = qsink.as_mut() {
+                    write_quarantine(sink, &ingest.take_quarantined())?;
+                }
             }
         }
     }
     if let Some(path) = ckpt {
         ingest
             .checkpoint()
-            .save(path)
+            .save_rotated(path, keep)
             .map_err(|e| ArgError(format!("writing checkpoint: {e}")))?;
     }
 
@@ -363,21 +400,28 @@ fn stream_digest(
     if let Some(sink) = obs.trace {
         write_trace(sink, &ingest.take_provenance())?;
     }
-    let (rest, stats, prov) = ingest.finish_traced();
+    if let Some(sink) = qsink.as_mut() {
+        write_quarantine(sink, &ingest.take_quarantined())?;
+    }
+    let (rest, stats, prov, quarantined) = ingest.finish_full();
     if let Some(sink) = obs.trace {
         write_trace(sink, &prov)?;
+    }
+    if let Some(sink) = qsink.as_mut() {
+        write_quarantine(sink, &quarantined)?;
     }
     events.extend(rest);
     events.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.start.cmp(&b.start)));
     out.push_str(&format!(
         "streamed {} lines ({} malformed, {} late, {} duplicate, {} unknown-router, \
-         {} force-closed) -> {} events\n",
+         {} force-closed, {} quarantined) -> {} events\n",
         stats.n_lines,
         stats.n_malformed,
         stats.n_late,
         stats.n_duplicate,
         stats.digester.n_dropped,
         stats.digester.n_force_closed,
+        stats.digester.n_quarantined,
         events.len()
     ));
     log_malformed(obs.logger, &samples);
@@ -388,10 +432,7 @@ fn stream_digest(
 ///  [--metrics-out FILE] [--trace FILE] [--log-format text|json]
 ///  [--stream [--max-skew S] [--max-open M] [--checkpoint FILE] [--checkpoint-every N]]`
 pub fn cmd_digest(p: &Parsed) -> CmdResult {
-    let ktext =
-        fs::read_to_string(p.req("knowledge")?).map_err(|e| io_err("reading knowledge", e))?;
-    let k = DomainKnowledge::from_json(&ktext)
-        .map_err(|e| ArgError(format!("knowledge file is not valid: {e}")))?;
+    let k = load_knowledge(p)?;
     let log = Path::new(p.req("log")?);
     let top: usize = p.opt_parse("top", 20)?;
     let mut gcfg = stages(p.opt("stages").unwrap_or("TRC"))?;
@@ -422,11 +463,15 @@ pub fn cmd_digest(p: &Parsed) -> CmdResult {
         if let (Some(sink), Some(prov)) = (trace.as_ref(), prov.as_deref()) {
             write_trace(sink, prov)?;
         }
+        if let Some(mut sink) = quarantine_sink(p)? {
+            write_quarantine(&mut sink, &d.quarantined)?;
+        }
         out.push_str(&format!(
-            "digested {} messages ({bad}, {} unknown-router) -> {} events \
+            "digested {} messages ({bad}, {} unknown-router, {} quarantined) -> {} events \
              (compression {:.2e})\n",
             msgs.len(),
             d.n_dropped,
+            d.n_quarantined,
             d.events.len(),
             d.compression_ratio()
         ));
@@ -455,10 +500,7 @@ pub fn cmd_digest(p: &Parsed) -> CmdResult {
 /// rules fired, and what closed it. Event ids are the 1-based ranks
 /// printed by `sdigest digest` (same knowledge, log, and stages).
 pub fn cmd_explain(p: &Parsed) -> CmdResult {
-    let ktext =
-        fs::read_to_string(p.req("knowledge")?).map_err(|e| io_err("reading knowledge", e))?;
-    let k = DomainKnowledge::from_json(&ktext)
-        .map_err(|e| ArgError(format!("knowledge file is not valid: {e}")))?;
+    let k = load_knowledge(p)?;
     let log = Path::new(p.req("log")?);
     let id: u64 = p
         .req("event")?
@@ -512,11 +554,19 @@ pub fn cmd_stats(p: &Parsed) -> CmdResult {
 }
 
 /// `sdigest inject --log FILE --out FILE [--preset clean|bounded|hostile] [--seed N]`
+/// `sdigest inject --artifact FILE [--storage KIND] [--at BYTE] [--seed N] [--out FILE]`
 ///
-/// Perturb a clean wire-format feed with deterministic faults (bounded
-/// reordering, duplicates, corrupted copies, and — for `hostile` — drops
-/// and clock skew), for exercising the fault-tolerant ingest path.
+/// Feed mode perturbs a clean wire-format feed with deterministic faults
+/// (bounded reordering, duplicates, corrupted copies, and — for
+/// `hostile` — drops and clock skew), for exercising the fault-tolerant
+/// ingest path. Artifact mode instead damages a persisted artifact
+/// (checkpoint or knowledge file) with a storage fault — `truncate`,
+/// `bitflip`, `short-write` or `disk-full` — at a seed-derived offset
+/// (or an explicit `--at`), for exercising the recovery path.
 pub fn cmd_inject(p: &Parsed) -> CmdResult {
+    if let Some(artifact) = p.opt("artifact") {
+        return inject_artifact(p, Path::new(artifact));
+    }
     let log = Path::new(p.req("log")?);
     let out_path = Path::new(p.req("out")?);
     let seed: u64 = p.opt_parse("seed", 1)?;
@@ -550,6 +600,53 @@ pub fn cmd_inject(p: &Parsed) -> CmdResult {
     ))
 }
 
+/// Artifact mode of `sdigest inject`: damage a persisted artifact the
+/// way a torn write, bit flip, lying kernel or full disk would.
+fn inject_artifact(p: &Parsed, artifact: &Path) -> CmdResult {
+    let bytes = fs::read(artifact).map_err(|e| io_err("reading artifact", e))?;
+    let kind = p.opt("storage").unwrap_or("truncate");
+    let seed: u64 = p.opt_parse("seed", 1)?;
+    let fault = match p.opt("at") {
+        Some(s) => {
+            let at: usize = s.parse().map_err(|_| {
+                ArgError("invalid value for --at: expected a byte offset".to_owned())
+            })?;
+            match kind {
+                "truncate" => StorageFault::Truncate { at },
+                "bitflip" => StorageFault::BitFlip {
+                    offset: at,
+                    bit: (seed % 8) as u8,
+                },
+                "short" | "short-write" => StorageFault::ShortWrite { at },
+                "diskfull" | "disk-full" => StorageFault::DiskFull { at },
+                other => {
+                    return Err(ArgError(format!(
+                        "unknown storage fault {other:?} \
+                         (use truncate, bitflip, short-write, or disk-full)"
+                    )))
+                }
+            }
+        }
+        None => StorageFault::from_seed(kind, seed, bytes.len()).ok_or_else(|| {
+            ArgError(format!(
+                "unknown storage fault {kind:?} \
+                 (use truncate, bitflip, short-write, or disk-full)"
+            ))
+        })?,
+    };
+    let out_path = p.opt("out").map(Path::new).unwrap_or(artifact);
+    let damaged = apply_fault(&bytes, &fault);
+    fs::write(out_path, &damaged).map_err(|e| io_err("writing damaged artifact", e))?;
+    Ok(format!(
+        "injected storage fault {} into {} ({} -> {} bytes) -> {}",
+        fault.kind(),
+        artifact.display(),
+        bytes.len(),
+        damaged.len(),
+        out_path.display()
+    ))
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "sdigest — SyslogDigest command line\n\
@@ -560,12 +657,15 @@ pub fn usage() -> &'static str {
                         [--metrics-out FILE] [--log-format text|json]\n\
        sdigest digest   --knowledge FILE --log FILE [--top N] [--stages T|TR|TRC]\n\
                         [--threads N] [--metrics-out FILE] [--trace FILE]\n\
-                        [--log-format text|json]\n\
+                        [--log-format text|json] [--quarantine-out FILE]\n\
                         [--stream [--max-skew SECS] [--max-open N]\n\
-                        [--checkpoint FILE] [--checkpoint-every N]]\n\
+                        [--checkpoint FILE] [--checkpoint-every N]\n\
+                        [--checkpoint-keep K]]\n\
        sdigest explain  --knowledge FILE --log FILE --event ID [--stages T|TR|TRC]\n\
                         [--threads N]\n\
        sdigest inject   --log FILE --out FILE [--preset clean|bounded|hostile] [--seed N]\n\
+       sdigest inject   --artifact FILE [--storage truncate|bitflip|short-write|disk-full]\n\
+                        [--at BYTE] [--seed N] [--out FILE]\n\
        sdigest stats    --log FILE [--top N]\n\
      \n\
      OBSERVABILITY:\n\
@@ -576,7 +676,18 @@ pub fn usage() -> &'static str {
                             event (templates matched, rules fired, links per\n\
                             grouping stage, close reason)\n\
        --log-format FORMAT  diagnostics on stderr as human text (default) or\n\
-                            one JSON object per line\n"
+                            one JSON object per line\n\
+     \n\
+     DURABILITY:\n\
+       Checkpoints and knowledge files are written atomically inside a\n\
+       checksummed envelope; a resume falls back past corrupt checkpoint\n\
+       generations to the newest verifiable one, so a crash (even mid-write)\n\
+       loses at most one --checkpoint-every interval of progress.\n\
+       --checkpoint-keep K  previous checkpoint generations to retain as\n\
+                            FILE.1 .. FILE.K (default 2)\n\
+       --quarantine-out F   JSONL sidecar recording messages whose\n\
+                            augmentation panicked; the run continues and the\n\
+                            digest is as if those messages were absent\n"
 }
 
 /// Dispatch a parsed command line.
@@ -788,6 +899,151 @@ mod tests {
         ]))
         .unwrap();
         assert!(resumed.contains("resumed from"), "{resumed}");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Storage-fault recovery end to end through the CLI: rotated
+    /// checkpoint generations are written, `inject --artifact` damages
+    /// the newest one, and the next run falls back to an older
+    /// generation instead of failing or starting over.
+    #[test]
+    fn artifact_fault_then_resume_falls_back_a_generation() {
+        let dir = tmpdir("artifact-fault");
+        let out = dir.to_str().unwrap();
+        cmd_generate(&parse(&[
+            "generate",
+            "--dataset",
+            "A",
+            "--scale",
+            "0.06",
+            "--out",
+            out,
+        ]))
+        .unwrap();
+        let kpath = dir.join("knowledge.json");
+        cmd_learn(&parse(&[
+            "learn",
+            "--configs",
+            dir.join("configs").to_str().unwrap(),
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--out",
+            kpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let ckpt = dir.join("run.ckpt");
+        let first = cmd_digest(&parse(&[
+            "digest",
+            "--knowledge",
+            kpath.to_str().unwrap(),
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--stream",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "1000",
+            "--checkpoint-keep",
+            "2",
+        ]))
+        .unwrap();
+        assert!(first.contains("streamed"), "{first}");
+        assert!(ckpt.exists());
+        let gen1 = dir.join("run.ckpt.1");
+        assert!(gen1.exists(), "rotation did not keep a previous generation");
+
+        // Damage the newest generation the way a torn write would.
+        let msg = cmd_inject(&parse(&[
+            "inject",
+            "--artifact",
+            ckpt.to_str().unwrap(),
+            "--storage",
+            "truncate",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(msg.contains("truncate"), "{msg}");
+
+        let resumed = cmd_digest(&parse(&[
+            "digest",
+            "--knowledge",
+            kpath.to_str().unwrap(),
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--stream",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-keep",
+            "2",
+        ]))
+        .unwrap();
+        assert!(resumed.contains("resumed from"), "{resumed}");
+        assert!(resumed.contains("generation 1"), "{resumed}");
+        assert!(
+            resumed.contains("1 corrupt generation(s) skipped"),
+            "{resumed}"
+        );
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A poison message (augmentation panic) is quarantined to the JSONL
+    /// sidecar instead of crashing the run, and the stream report counts it.
+    #[test]
+    fn poison_message_is_quarantined_to_sidecar() {
+        let dir = tmpdir("quarantine");
+        let out = dir.to_str().unwrap();
+        cmd_generate(&parse(&[
+            "generate",
+            "--dataset",
+            "A",
+            "--scale",
+            "0.05",
+            "--out",
+            out,
+        ]))
+        .unwrap();
+        let kpath = dir.join("knowledge.json");
+        cmd_learn(&parse(&[
+            "learn",
+            "--configs",
+            dir.join("configs").to_str().unwrap(),
+            "--log",
+            dir.join("syslog.log").to_str().unwrap(),
+            "--out",
+            kpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Append one syntactically ordinary poison line to the feed.
+        let log_path = dir.join("syslog.log");
+        let text = fs::read_to_string(&log_path).unwrap();
+        let last = RawMessage::parse_line(text.lines().last().unwrap()).unwrap();
+        let poison = sd_netsim::poison_message(sd_model::Timestamp(last.ts.0 + 1), &last.router);
+        fs::write(&log_path, format!("{text}{}\n", poison.to_line())).unwrap();
+
+        syslogdigest::set_poison_marker(Some(sd_netsim::POISON_MARKER));
+        let qpath = dir.join("quarantine.jsonl");
+        let report = cmd_digest(&parse(&[
+            "digest",
+            "--knowledge",
+            kpath.to_str().unwrap(),
+            "--log",
+            log_path.to_str().unwrap(),
+            "--stream",
+            "--quarantine-out",
+            qpath.to_str().unwrap(),
+        ]));
+        syslogdigest::set_poison_marker(None);
+        let report = report.unwrap();
+        assert!(report.contains("1 quarantined"), "{report}");
+        let sidecar = fs::read_to_string(&qpath).unwrap();
+        assert_eq!(sidecar.lines().count(), 1, "{sidecar}");
+        assert!(sidecar.contains(sd_netsim::POISON_MARKER), "{sidecar}");
+        assert!(sidecar.contains("injected poison panic"), "{sidecar}");
 
         let _ = fs::remove_dir_all(&dir);
     }

@@ -30,6 +30,7 @@
 
 pub mod diff;
 pub mod golden;
+pub mod recovery;
 pub mod ref_grouping;
 pub mod ref_rules;
 pub mod ref_templates;
@@ -37,3 +38,4 @@ pub mod ref_temporal;
 
 pub use diff::{verify_dataset, ConformanceSummary, Divergence, Stage};
 pub use golden::{GoldenEntry, GoldenFile, GOLDEN_VERSION};
+pub use recovery::{verify_recovery, RecoveryOutcome, RECOVERY_FAULT_KINDS};

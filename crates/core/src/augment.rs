@@ -4,7 +4,7 @@
 
 use crate::knowledge::DomainKnowledge;
 use sd_locations::extract;
-use sd_model::{par_chunks, Parallelism, RawMessage, SyslogPlus};
+use sd_model::{catch_panic, par_chunks, par_chunks_isolated, Parallelism, RawMessage, SyslogPlus};
 use sd_templates::TokenScratch;
 
 /// Augment one raw message. Returns `None` when the originating router is
@@ -22,6 +22,7 @@ pub fn augment_with(
     m: &RawMessage,
     scratch: &mut TokenScratch,
 ) -> Option<SyslogPlus> {
+    crate::quarantine::poison_check(&m.detail);
     let ex = extract(&k.dict, m)?;
     let template = k.resolve_template_with(&m.code, &m.detail, scratch);
     Some(SyslogPlus {
@@ -67,6 +68,68 @@ pub fn augment_batch_with(
         dropped += chunk_dropped;
     }
     (out, dropped)
+}
+
+/// Result of a panic-isolated batch augmentation
+/// ([`augment_batch_isolated`]).
+pub struct IsolatedAugment {
+    /// Aligned 1:1 with the input batch: `Some` for augmented messages,
+    /// `None` for unknown-router drops *and* quarantined messages (use
+    /// `quarantined` to tell them apart).
+    pub augmented: Vec<Option<SyslogPlus>>,
+    /// `(batch offset, rendered panic payload)` for every message whose
+    /// augmentation panicked — even after its shard was retried
+    /// sequentially, one message at a time.
+    pub quarantined: Vec<(usize, String)>,
+}
+
+/// Augment a batch with each shard of the `par` fan-out running under
+/// `catch_unwind`: a panicking shard does not abort the run. The
+/// poisoned shard is retried sequentially message-by-message (with a
+/// fresh scratch — the panicked one may hold torn state) so only the
+/// truly offending messages are quarantined; every healthy message in
+/// the shard still augments. The output is deterministic and identical
+/// for every thread count, and with no panics it is exactly
+/// [`augment_batch_with`]'s.
+pub fn augment_batch_isolated(
+    k: &DomainKnowledge,
+    batch: &[RawMessage],
+    par: Parallelism,
+) -> IsolatedAugment {
+    let shards = par_chunks_isolated(par, batch, |start, chunk| {
+        let mut out = Vec::with_capacity(chunk.len());
+        let mut scratch = TokenScratch::new();
+        for (off, m) in chunk.iter().enumerate() {
+            out.push(augment_with(k, start + off, m, &mut scratch));
+        }
+        out
+    });
+    let starts: Vec<usize> = shards.iter().map(|(s, _)| *s).collect();
+    let mut augmented: Vec<Option<SyslogPlus>> = Vec::with_capacity(batch.len());
+    let mut quarantined: Vec<(usize, String)> = Vec::new();
+    for (si, (start, res)) in shards.into_iter().enumerate() {
+        match res {
+            Ok(chunk_out) => augmented.extend(chunk_out),
+            Err(_) => {
+                // Poisoned shard: retry each message alone.
+                let end = starts.get(si + 1).copied().unwrap_or(batch.len());
+                for (off, m) in batch[start..end].iter().enumerate() {
+                    let idx = start + off;
+                    match catch_panic(|| augment_with(k, idx, m, &mut TokenScratch::new())) {
+                        Ok(sp) => augmented.push(sp),
+                        Err(reason) => {
+                            augmented.push(None);
+                            quarantined.push((idx, reason));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    IsolatedAugment {
+        augmented,
+        quarantined,
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +207,44 @@ interface Serial1/5
         let (out, dropped) = augment_batch(&k, &batch);
         assert_eq!(out.len(), 1);
         assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn isolated_batch_quarantines_only_the_poison_message() {
+        let k = knowledge();
+        let mut batch: Vec<RawMessage> = (0..50)
+            .map(|i| {
+                RawMessage::new(
+                    Timestamp(i),
+                    "r1",
+                    ErrorCode::from("LINK-3-UPDOWN"),
+                    format!("Interface Serial1/{}, changed state to down", i % 20),
+                )
+            })
+            .collect();
+        batch[23].detail = "detail with AUGTESTPOISON inside".to_string();
+        crate::quarantine::set_poison_marker(Some("AUGTESTPOISON"));
+        for threads in [1usize, 4] {
+            let iso = augment_batch_isolated(&k, &batch, Parallelism::with_threads(threads));
+            assert_eq!(iso.augmented.len(), batch.len());
+            assert_eq!(iso.quarantined.len(), 1, "threads={threads}");
+            assert_eq!(iso.quarantined[0].0, 23);
+            assert!(iso.quarantined[0].1.contains("AUGTESTPOISON"));
+            assert!(iso.augmented[23].is_none());
+            // Every other message still augmented despite sharing a shard
+            // with the poison message.
+            for (i, sp) in iso.augmented.iter().enumerate() {
+                if i != 23 {
+                    assert!(sp.is_some(), "message {i} lost (threads={threads})");
+                    assert_eq!(sp.as_ref().unwrap().idx, i);
+                }
+            }
+        }
+        crate::quarantine::set_poison_marker(None);
+        // Disarmed: identical to the plain batch path.
+        let iso = augment_batch_isolated(&k, &batch, Parallelism::with_threads(4));
+        assert!(iso.quarantined.is_empty());
+        assert!(iso.augmented.iter().all(Option::is_some));
     }
 
     #[test]

@@ -10,16 +10,27 @@
 //!   fingerprint** (see [`DomainKnowledge::fingerprint`]) and the complete
 //!   mutable state of the digester (plus, when checkpointed through the
 //!   ingest layer, the reorder buffer).
-//! * [`StreamSnapshot::save`] writes atomically (temp file + rename), so
-//!   a crash mid-write can never leave a truncated snapshot where a good
-//!   one used to be.
+//! * [`StreamSnapshot::save`] wraps the JSON in the checksummed
+//!   [`envelope`](crate::envelope) and writes atomically (temp file +
+//!   rename), so a crash mid-write can never leave a truncated snapshot
+//!   where a good one used to be — and any truncation or bit flip that
+//!   slips through is caught at load time as a typed
+//!   [`EnvelopeError`] rather than a panic or silent misdecode.
+//! * [`StreamSnapshot::save_rotated`] keeps the last `keep` generations
+//!   (`run.ckpt` → `run.ckpt.1` → …) and
+//!   [`StreamSnapshot::recover_last_good`] scans them newest-first on
+//!   resume, falling back past damaged generations and reporting how far
+//!   it rolled back in a [`RecoveryReport`]. With checkpoints taken
+//!   every *N* lines, a kill at any byte of any write loses at most one
+//!   checkpoint interval.
 //! * [`StreamSnapshot::from_json`] / [`StreamSnapshot::load`] check the
 //!   version field *before* decoding the body, so a snapshot produced by
 //!   a future incompatible build fails with
 //!   [`CheckpointError::Version`] rather than a confusing parse error,
 //!   and [`StreamSnapshot::verify`] refuses to resume against a different
 //!   knowledge base ([`CheckpointError::KnowledgeMismatch`]) — dense ids
-//!   would silently mis-group otherwise.
+//!   would silently mis-group otherwise. Pre-envelope snapshot files
+//!   (raw JSON, PR 2 era) still load via a legacy fallback.
 //!
 //! Delivery semantics: events emitted between the last checkpoint and a
 //! crash are emitted *again* after resume (at-least-once); exactly-once
@@ -27,6 +38,7 @@
 //! checkpoint and persist emitted events in the same transaction, keyed
 //! by [`StreamSnapshot::lines_consumed`].
 
+use crate::envelope::{self, ArtifactError, ArtifactKind, EnvelopeError};
 use crate::grouping::GroupingConfig;
 use crate::knowledge::DomainKnowledge;
 use crate::stream::{OpenGroup, StreamConfig, StreamStats};
@@ -34,7 +46,7 @@ use sd_model::{RawMessage, SyslogPlus, Timestamp};
 use sd_temporal::EwmaTracker;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Current snapshot format version. Bump on any incompatible change to
 /// [`DigesterState`] / [`IngestState`]; old snapshots are then rejected
@@ -122,6 +134,17 @@ pub enum CheckpointError {
     Corrupt(String),
     /// Filesystem failure while reading or writing.
     Io(String),
+    /// The artifact envelope failed to verify (bad magic, truncation,
+    /// checksum mismatch, …) — carries the failing path and generation.
+    Artifact(ArtifactError),
+    /// Checkpoint files exist but *every* generation failed to verify;
+    /// nothing safe to resume from. Carries each `(path, why)` tried.
+    NoUsableSnapshot {
+        /// Base checkpoint path whose generations were scanned.
+        path: String,
+        /// Every generation tried, with the reason it was rejected.
+        tried: Vec<(String, String)>,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -138,11 +161,59 @@ impl fmt::Display for CheckpointError {
             ),
             CheckpointError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
             CheckpointError::Io(why) => write!(f, "snapshot i/o failed: {why}"),
+            CheckpointError::Artifact(e) => write!(f, "{e}"),
+            CheckpointError::NoUsableSnapshot { path, tried } => {
+                write!(
+                    f,
+                    "no usable snapshot: all {} generation(s) of {path} failed to verify: ",
+                    tried.len()
+                )?;
+                for (i, (p, why)) in tried.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{p}: {why}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
+
+impl From<ArtifactError> for CheckpointError {
+    fn from(e: ArtifactError) -> Self {
+        CheckpointError::Artifact(e)
+    }
+}
+
+/// How a [`StreamSnapshot::recover_last_good`] scan concluded: which
+/// generation was resumed from and what had to be skipped to get there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation resumed from (0 = the newest file, `path` itself).
+    pub generation: u32,
+    /// Generations that existed but failed verification.
+    pub n_corrupt: usize,
+    /// Feed lines already consumed by the recovered snapshot.
+    pub lines_consumed: usize,
+    /// Every skipped generation as `(path, why)`.
+    pub skipped: Vec<(String, String)>,
+}
+
+/// On-disk path of checkpoint generation `g` for base `path`
+/// (generation 0 is `path` itself, generation 1 is `path.1`, …).
+/// The suffix is appended to the whole file name so `run.ckpt`
+/// rotates to `run.ckpt.1`, not `run.1`.
+pub fn generation_path(path: &Path, generation: u32) -> PathBuf {
+    if generation == 0 {
+        return path.to_path_buf();
+    }
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(".{generation}"));
+    PathBuf::from(name)
+}
 
 impl StreamSnapshot {
     /// Assemble a snapshot for a bare digester (no ingest layer).
@@ -208,20 +279,132 @@ impl StreamSnapshot {
         serde_json::from_str(text).map_err(|e| CheckpointError::Corrupt(e.to_string()))
     }
 
-    /// Write atomically to `path`: the snapshot is written to a sibling
-    /// temp file and renamed into place, so a crash mid-write leaves any
-    /// previous good snapshot untouched.
+    /// Write atomically to `path`, framed in the checksummed artifact
+    /// envelope: the image is written to a sibling temp file and renamed
+    /// into place, so a crash mid-write leaves any previous good
+    /// snapshot untouched, and any damage to the bytes that do land is
+    /// detected at load time.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
         let json = self.to_json()?;
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &json).map_err(|e| CheckpointError::Io(e.to_string()))?;
-        std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+        envelope::save_atomic(
+            path,
+            ArtifactKind::CHECKPOINT,
+            SNAPSHOT_VERSION,
+            json.as_bytes(),
+        )
+        .map_err(CheckpointError::Artifact)
     }
 
-    /// Read a snapshot written by [`StreamSnapshot::save`].
+    /// Save with last-good rotation: existing generations shift up
+    /// (`path` → `path.1` → … → `path.keep`, the oldest dropped) before
+    /// the new snapshot is written atomically as generation 0. `keep` is
+    /// the number of *previous* generations retained alongside the
+    /// newest; `keep == 0` degrades to a plain [`StreamSnapshot::save`].
+    pub fn save_rotated(&self, path: &Path, keep: usize) -> Result<(), CheckpointError> {
+        for g in (0..keep as u32).rev() {
+            let from = generation_path(path, g);
+            let to = generation_path(path, g + 1);
+            if from.exists() {
+                std::fs::rename(&from, &to).map_err(|e| {
+                    CheckpointError::Io(format!(
+                        "rotating {} -> {}: {e}",
+                        from.display(),
+                        to.display()
+                    ))
+                })?;
+            }
+        }
+        self.save(path)
+    }
+
+    /// Read a snapshot written by [`StreamSnapshot::save`], or a legacy
+    /// pre-envelope raw-JSON snapshot. Failures carry the file path (and
+    /// generation, when scanned via
+    /// [`StreamSnapshot::recover_last_good`]).
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
-        Self::from_json(&text)
+        Self::load_generation(path, None)
+    }
+
+    fn load_generation(path: &Path, generation: Option<u32>) -> Result<Self, CheckpointError> {
+        let ctx = |e: ArtifactError| match generation {
+            Some(g) => CheckpointError::Artifact(e.with_generation(g)),
+            None => CheckpointError::Artifact(e),
+        };
+        let bytes = envelope::load_bytes(path).map_err(&ctx)?;
+        let text = if envelope::is_enveloped(&bytes) {
+            let payload = envelope::decode(&bytes, ArtifactKind::CHECKPOINT, SNAPSHOT_VERSION)
+                .map_err(|e| ctx(ArtifactError::at(path, e)))?;
+            std::str::from_utf8(payload)
+                .map_err(|e| {
+                    ctx(ArtifactError::at(
+                        path,
+                        EnvelopeError::Payload(e.to_string()),
+                    ))
+                })?
+                .to_string()
+        } else {
+            // Legacy pre-envelope snapshot: the file is the JSON itself.
+            String::from_utf8(bytes).map_err(|e| {
+                ctx(ArtifactError::at(
+                    path,
+                    EnvelopeError::Payload(e.to_string()),
+                ))
+            })?
+        };
+        Self::from_json(&text).map_err(|e| match e {
+            // Attach the failing path to body decode errors; version and
+            // knowledge errors are already self-explanatory.
+            CheckpointError::Corrupt(why) => {
+                CheckpointError::Corrupt(format!("{}: {why}", path.display()))
+            }
+            other => other,
+        })
+    }
+
+    /// Scan checkpoint generations newest-first and load the first one
+    /// that verifies.
+    ///
+    /// * `Ok(None)` — no generation exists at all: a fresh start, not a
+    ///   failure.
+    /// * `Ok(Some((snapshot, report)))` — resumed; the report says which
+    ///   generation won and which damaged ones were skipped.
+    /// * `Err(NoUsableSnapshot)` — files exist but none verified;
+    ///   resuming silently from nothing would violate the at-most-one-
+    ///   interval loss guarantee, so this is surfaced to the operator.
+    pub fn recover_last_good(
+        path: &Path,
+        keep: usize,
+    ) -> Result<Option<(Self, RecoveryReport)>, CheckpointError> {
+        let mut skipped: Vec<(String, String)> = Vec::new();
+        for g in 0..=(keep as u32) {
+            let p = generation_path(path, g);
+            if !p.exists() {
+                continue;
+            }
+            match Self::load_generation(&p, Some(g)) {
+                Ok(snap) => {
+                    let lines_consumed = snap.lines_consumed();
+                    return Ok(Some((
+                        snap,
+                        RecoveryReport {
+                            generation: g,
+                            n_corrupt: skipped.len(),
+                            lines_consumed,
+                            skipped,
+                        },
+                    )));
+                }
+                Err(e) => skipped.push((p.display().to_string(), e.to_string())),
+            }
+        }
+        if skipped.is_empty() {
+            Ok(None)
+        } else {
+            Err(CheckpointError::NoUsableSnapshot {
+                path: path.display().to_string(),
+                tried: skipped,
+            })
+        }
     }
 }
 
@@ -242,6 +425,7 @@ mod tests {
                 n_dropped: 2,
                 n_force_closed: 0,
                 n_inconsistent: 0,
+                n_quarantined: 0,
             },
             open: Vec::new(),
             raw: Vec::new(),
@@ -314,8 +498,108 @@ mod tests {
         snap.save(&path).unwrap();
         // No temp file left behind.
         assert!(!path.with_extension("tmp").exists());
+        assert!(!dir.join("snap.json.tmp").exists());
         let back = StreamSnapshot::load(&path).unwrap();
         assert_eq!(back.knowledge_fp, 7);
         std::fs::remove_file(&path).ok();
+    }
+
+    fn snap_with_fp(fp: u64) -> StreamSnapshot {
+        StreamSnapshot {
+            version: SNAPSHOT_VERSION,
+            knowledge_fp: fp,
+            digester: tiny_state(),
+            ingest: None,
+        }
+    }
+
+    #[test]
+    fn legacy_raw_json_snapshots_still_load() {
+        let dir = std::env::temp_dir().join("sd_checkpoint_legacy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.ckpt");
+        // A PR 2-era snapshot: raw JSON, no envelope.
+        std::fs::write(&path, snap_with_fp(11).to_json().unwrap()).unwrap();
+        let back = StreamSnapshot::load(&path).unwrap();
+        assert_eq!(back.knowledge_fp, 11);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_keeps_generations_and_recovery_prefers_newest() {
+        let dir = std::env::temp_dir().join("sd_checkpoint_rotate_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        for fp in [1u64, 2, 3, 4] {
+            snap_with_fp(fp).save_rotated(&path, 2).unwrap();
+        }
+        // Newest at the base path, two older generations behind it, the
+        // oldest (fp 1) rotated away.
+        assert_eq!(StreamSnapshot::load(&path).unwrap().knowledge_fp, 4);
+        assert_eq!(
+            StreamSnapshot::load(&generation_path(&path, 1))
+                .unwrap()
+                .knowledge_fp,
+            3
+        );
+        assert_eq!(
+            StreamSnapshot::load(&generation_path(&path, 2))
+                .unwrap()
+                .knowledge_fp,
+            2
+        );
+        assert!(!generation_path(&path, 3).exists());
+
+        let (snap, report) = StreamSnapshot::recover_last_good(&path, 2)
+            .unwrap()
+            .expect("generations exist");
+        assert_eq!(snap.knowledge_fp, 4);
+        assert_eq!(report.generation, 0);
+        assert_eq!(report.n_corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_falls_back_past_damaged_generations() {
+        let dir = std::env::temp_dir().join("sd_checkpoint_fallback_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        snap_with_fp(1).save_rotated(&path, 2).unwrap();
+        snap_with_fp(2).save_rotated(&path, 2).unwrap();
+        // Torn write: generation 0 loses its tail.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (snap, report) = StreamSnapshot::recover_last_good(&path, 2)
+            .unwrap()
+            .expect("an older generation survives");
+        assert_eq!(snap.knowledge_fp, 1);
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.n_corrupt, 1);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].1.contains("truncated"));
+
+        // Damage the survivor too: now nothing is usable, and that is an
+        // error, not a silent fresh start.
+        let p1 = generation_path(&path, 1);
+        let bytes = std::fs::read(&p1).unwrap();
+        let mut flipped = bytes.clone();
+        flipped[bytes.len() - 3] ^= 0x10;
+        std::fs::write(&p1, &flipped).unwrap();
+        match StreamSnapshot::recover_last_good(&path, 2) {
+            Err(CheckpointError::NoUsableSnapshot { tried, .. }) => {
+                assert_eq!(tried.len(), 2)
+            }
+            other => panic!("expected NoUsableSnapshot, got {other:?}"),
+        }
+
+        // No generations at all: a fresh start.
+        let empty = dir.join("never-written.ckpt");
+        assert!(StreamSnapshot::recover_last_good(&empty, 2)
+            .unwrap()
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

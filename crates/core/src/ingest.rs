@@ -24,7 +24,7 @@
 //! tests assert exactly that, and that anything beyond the bounds only
 //! moves counters, never panics.
 
-use crate::checkpoint::{CheckpointError, IngestState, StreamSnapshot};
+use crate::checkpoint::{CheckpointError, IngestState, RecoveryReport, StreamSnapshot};
 use crate::event::NetworkEvent;
 use crate::grouping::GroupingConfig;
 use crate::knowledge::DomainKnowledge;
@@ -142,14 +142,32 @@ impl<'k> FaultTolerantIngest<'k> {
     /// [`finish`](Self::finish), also returning the provenance records of
     /// every event closed during the final flush (empty unless tracing
     /// was enabled via [`set_trace`](Self::set_trace)).
-    pub fn finish_traced(mut self) -> (Vec<NetworkEvent>, IngestStats, Vec<EventProvenance>) {
+    pub fn finish_traced(self) -> (Vec<NetworkEvent>, IngestStats, Vec<EventProvenance>) {
+        let (events, stats, prov, _) = self.finish_full();
+        (events, stats, prov)
+    }
+
+    /// [`finish_traced`](Self::finish_traced), also draining the
+    /// quarantine records of messages whose augmentation panicked during
+    /// the final reorder-buffer flush — the only records a caller that
+    /// drains [`take_quarantined`](Self::take_quarantined) before
+    /// finishing would otherwise lose.
+    pub fn finish_full(
+        mut self,
+    ) -> (
+        Vec<NetworkEvent>,
+        IngestStats,
+        Vec<EventProvenance>,
+        Vec<crate::quarantine::QuarantineRecord>,
+    ) {
         self.released.clear();
         self.reorder.flush(&mut self.released);
         let mut events = self.digester.push_batch(&self.released);
         let stats = self.stats();
+        let quarantined = self.digester.take_quarantined();
         let (rest, prov) = self.digester.finish_traced();
         events.extend(rest);
-        (events, stats, prov)
+        (events, stats, prov, quarantined)
     }
 
     /// Current counters (views over the registry-backed atomics).
@@ -167,6 +185,12 @@ impl<'k> FaultTolerantIngest<'k> {
     /// line numbers, reasons from [`ParseError`].
     pub fn malformed_samples(&self) -> &[(usize, String)] {
         &self.malformed_samples
+    }
+
+    /// Drain the quarantine records of messages whose augmentation shard
+    /// panicked (see [`crate::quarantine`]); empty in a healthy run.
+    pub fn take_quarantined(&mut self) -> Vec<crate::quarantine::QuarantineRecord> {
+        self.digester.take_quarantined()
     }
 
     /// Messages currently held in the reorder buffer.
@@ -232,6 +256,43 @@ impl<'k> FaultTolerantIngest<'k> {
             malformed_samples: ing.malformed_samples.clone(),
             released: Vec::new(),
         })
+    }
+
+    /// Resume from the newest verifiable checkpoint generation of `path`
+    /// (see [`StreamSnapshot::recover_last_good`]), without telemetry.
+    pub fn recover(
+        k: &'k DomainKnowledge,
+        path: &std::path::Path,
+        keep: usize,
+    ) -> Result<Option<(Self, RecoveryReport)>, CheckpointError> {
+        Self::recover_with_telemetry(k, path, keep, &Telemetry::disabled())
+    }
+
+    /// [`recover`](Self::recover) with telemetry: registers and updates
+    /// the durability counters — `ckpt.n_corrupt` (generations that
+    /// existed but failed verification) and `ckpt.n_fallback` (1 when an
+    /// older generation had to be used). The counters are registered
+    /// even when no checkpoint exists yet, so a checkpointing run always
+    /// exports them (at 0 in the healthy case).
+    pub fn recover_with_telemetry(
+        k: &'k DomainKnowledge,
+        path: &std::path::Path,
+        keep: usize,
+        tel: &Telemetry,
+    ) -> Result<Option<(Self, RecoveryReport)>, CheckpointError> {
+        let n_corrupt = tel.counter("ckpt.n_corrupt");
+        let n_fallback = tel.counter("ckpt.n_fallback");
+        match StreamSnapshot::recover_last_good(path, keep)? {
+            None => Ok(None),
+            Some((snapshot, report)) => {
+                n_corrupt.add(report.n_corrupt as u64);
+                if report.generation > 0 {
+                    n_fallback.inc();
+                }
+                let ingest = Self::resume_with_telemetry(k, &snapshot, tel)?;
+                Ok(Some((ingest, report)))
+            }
+        }
     }
 }
 

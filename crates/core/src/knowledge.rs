@@ -4,6 +4,7 @@
 //! prioritization. Serializable, so a learned base can be shipped to the
 //! online system.
 
+use crate::envelope::{self, ArtifactError, ArtifactKind, EnvelopeError};
 use sd_locations::LocationDictionary;
 use sd_model::{ErrorCode, Interner, RouterId, TemplateId};
 use sd_rules::RuleSet;
@@ -14,6 +15,10 @@ use std::collections::HashMap;
 
 /// Sentinel template id for codes never seen during training.
 pub const UNKNOWN_TEMPLATE: TemplateId = TemplateId(u32::MAX);
+
+/// On-disk schema version of enveloped knowledge artifacts. Bump on any
+/// incompatible change to the serialized [`DomainKnowledge`] shape.
+pub const KNOWLEDGE_VERSION: u32 = 1;
 
 /// Everything the online digester needs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -82,6 +87,42 @@ impl DomainKnowledge {
         let mut k: DomainKnowledge = serde_json::from_str(text)?;
         k.rebuild_index();
         Ok(k)
+    }
+
+    /// Persist to `path` inside the checksummed artifact envelope
+    /// (kind `KNOW`, version [`KNOWLEDGE_VERSION`]), atomically.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), ArtifactError> {
+        let json = self
+            .to_json()
+            .map_err(|e| ArtifactError::at(path, EnvelopeError::Payload(e.to_string())))?;
+        envelope::save_atomic(
+            path,
+            ArtifactKind::KNOWLEDGE,
+            KNOWLEDGE_VERSION,
+            json.as_bytes(),
+        )
+    }
+
+    /// Load from `path`: an enveloped artifact written by
+    /// [`DomainKnowledge::save`], or a legacy raw-JSON knowledge file.
+    /// Truncation, bit flips, kind confusion (e.g. pointing `--knowledge`
+    /// at a checkpoint) and version skew all surface as typed
+    /// [`ArtifactError`]s carrying the file path.
+    pub fn load(path: &std::path::Path) -> Result<Self, ArtifactError> {
+        let bytes = envelope::load_bytes(path)?;
+        let text = if envelope::is_enveloped(&bytes) {
+            let payload = envelope::decode(&bytes, ArtifactKind::KNOWLEDGE, KNOWLEDGE_VERSION)
+                .map_err(|e| ArtifactError::at(path, e))?;
+            std::str::from_utf8(payload)
+                .map_err(|e| ArtifactError::at(path, EnvelopeError::Payload(e.to_string())))?
+                .to_string()
+        } else {
+            // Legacy pre-envelope knowledge file: the file is the JSON.
+            String::from_utf8(bytes)
+                .map_err(|e| ArtifactError::at(path, EnvelopeError::Payload(e.to_string())))?
+        };
+        Self::from_json(&text)
+            .map_err(|e| ArtifactError::at(path, EnvelopeError::Payload(e.to_string())))
     }
 
     /// Structural fingerprint of this knowledge base (FNV-1a over the
@@ -245,6 +286,45 @@ mod tests {
         assert_eq!(k.frequency(RouterId(3), TemplateId(9)), 4);
         let back = DomainKnowledge::from_json(&k.to_json().unwrap()).unwrap();
         assert_eq!(back.frequency(RouterId(0), TemplateId(0)), 42);
+    }
+
+    #[test]
+    fn enveloped_save_load_roundtrips_and_rejects_damage() {
+        let dir = std::env::temp_dir().join("sd_knowledge_envelope_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("knowledge.bin");
+        let k = tiny_knowledge();
+        k.save(&path).unwrap();
+        let back = DomainKnowledge::load(&path).unwrap();
+        assert_eq!(back.fingerprint(), k.fingerprint());
+
+        // Legacy raw-JSON files keep loading.
+        let legacy = dir.join("knowledge.json");
+        std::fs::write(&legacy, k.to_json().unwrap()).unwrap();
+        let back = DomainKnowledge::load(&legacy).unwrap();
+        assert_eq!(back.fingerprint(), k.fingerprint());
+
+        // A flipped payload bit is a checksum mismatch, not a misdecode.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut dam = bytes.clone();
+        let last = dam.len() - 1;
+        dam[last] ^= 0x04;
+        std::fs::write(&path, &dam).unwrap();
+        let err = DomainKnowledge::load(&path).unwrap_err();
+        assert!(matches!(err.error, EnvelopeError::ChecksumMismatch { .. }));
+        assert!(err.to_string().contains("knowledge.bin"));
+
+        // Pointing at a checkpoint artifact is a kind mismatch.
+        let ck = dir.join("not-knowledge.bin");
+        std::fs::write(
+            &ck,
+            envelope::encode(ArtifactKind::CHECKPOINT, KNOWLEDGE_VERSION, b"{}"),
+        )
+        .unwrap();
+        let err = DomainKnowledge::load(&ck).unwrap_err();
+        assert!(matches!(err.error, EnvelopeError::KindMismatch { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 pub mod augment;
 pub mod baselines;
 pub mod checkpoint;
+pub mod envelope;
 pub mod event;
 pub mod grouping;
 pub mod ingest;
@@ -47,17 +48,24 @@ pub mod offline;
 pub mod pipeline;
 pub mod priority;
 pub mod provenance;
+pub mod quarantine;
 pub mod reorder;
 pub mod stream;
 pub mod union_find;
 pub mod viz;
 
-pub use augment::{augment, augment_batch, augment_batch_with, augment_with};
-pub use checkpoint::{CheckpointError, StreamSnapshot, SNAPSHOT_VERSION};
+pub use augment::{
+    augment, augment_batch, augment_batch_isolated, augment_batch_with, augment_with,
+    IsolatedAugment,
+};
+pub use checkpoint::{
+    generation_path, CheckpointError, RecoveryReport, StreamSnapshot, SNAPSHOT_VERSION,
+};
+pub use envelope::{ArtifactError, ArtifactKind, EnvelopeError, ENVELOPE_MAGIC};
 pub use event::{build_event, label_for, NetworkEvent};
 pub use grouping::{group, group_traced, stage_edges, GroupingConfig, GroupingResult};
 pub use ingest::{FaultTolerantIngest, IngestStats};
-pub use knowledge::{DomainKnowledge, UNKNOWN_TEMPLATE};
+pub use knowledge::{DomainKnowledge, KNOWLEDGE_VERSION, UNKNOWN_TEMPLATE};
 pub use metrics::{
     compression_table, evaluate_grouping, gt_quality, per_day_series, per_router_counts, DayStats,
     GtQuality,
@@ -68,5 +76,6 @@ pub use offline::{
 pub use pipeline::{digest, digest_instrumented, Digest};
 pub use priority::score_group;
 pub use provenance::{build_provenance, CloseReason, EventProvenance, GroupProv, MergeCause};
+pub use quarantine::{set_poison_marker, QuarantineRecord};
 pub use reorder::ReorderBuffer;
 pub use stream::{StreamConfig, StreamDigester, StreamStats};

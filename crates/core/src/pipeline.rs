@@ -1,12 +1,13 @@
 //! The online SyslogDigest pipeline (right half of Figure 1): augment →
 //! group (temporal, rule-based, cross-router) → prioritize → present.
 
-use crate::augment::augment_batch_with;
+use crate::augment::augment_batch_isolated;
 use crate::event::{build_event, NetworkEvent};
 use crate::grouping::{group, group_traced, GroupingConfig, GroupingResult};
 use crate::knowledge::DomainKnowledge;
 use crate::priority::score_group;
 use crate::provenance::{build_provenance, CloseReason, EventProvenance};
+use crate::quarantine::QuarantineRecord;
 use sd_model::RawMessage;
 use sd_telemetry::Telemetry;
 
@@ -21,6 +22,11 @@ pub struct Digest {
     pub n_input: usize,
     /// Messages dropped because their router is unknown.
     pub n_dropped: usize,
+    /// Messages quarantined because their augmentation shard panicked
+    /// even on sequential retry (0 in a healthy run).
+    pub n_quarantined: usize,
+    /// Provenance for every quarantined message (JSONL sidecar fodder).
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
 impl Digest {
@@ -67,9 +73,28 @@ pub fn digest_instrumented(
     tel: &Telemetry,
     trace: bool,
 ) -> (Digest, Option<Vec<EventProvenance>>) {
-    let (batch, n_dropped) = {
+    let (batch, n_dropped, quarantined) = {
         let _g = tel.time("digest.augment");
-        augment_batch_with(k, raw, cfg.par)
+        let iso = augment_batch_isolated(k, raw, cfg.par);
+        let poisoned: std::collections::HashSet<usize> =
+            iso.quarantined.iter().map(|&(i, _)| i).collect();
+        let mut batch = Vec::with_capacity(raw.len());
+        let mut n_dropped = 0usize;
+        for (i, sp) in iso.augmented.into_iter().enumerate() {
+            match sp {
+                Some(sp) => batch.push(sp),
+                None if poisoned.contains(&i) => {}
+                None => n_dropped += 1,
+            }
+        }
+        let quarantined: Vec<QuarantineRecord> = iso
+            .quarantined
+            .into_iter()
+            .map(|(i, reason)| {
+                QuarantineRecord::from_message(i as u64 + 1, &raw[i], "augment", &reason)
+            })
+            .collect();
+        (batch, n_dropped, quarantined)
     };
     let (grouping, provs) = {
         let _g = tel.time("digest.group");
@@ -120,12 +145,16 @@ pub fn digest_instrumented(
     tel.counter("digest.n_input").add(raw.len() as u64);
     tel.counter("digest.n_dropped").add(n_dropped as u64);
     tel.counter("digest.n_events").add(events.len() as u64);
+    tel.counter("digest.n_quarantined")
+        .add(quarantined.len() as u64);
     (
         Digest {
             events,
             grouping,
             n_input: raw.len(),
             n_dropped,
+            n_quarantined: quarantined.len(),
+            quarantined,
         },
         provenance,
     )

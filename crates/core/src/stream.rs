@@ -36,16 +36,16 @@
 //!   digester from it, so a killed process continues exactly where it
 //!   stopped (asserted by the kill/resume integration tests).
 
-use crate::augment::augment_with;
+use crate::augment::augment_batch_isolated;
 use crate::checkpoint::{CheckpointError, DigesterState, StreamSnapshot};
 use crate::event::{build_event, NetworkEvent};
 use crate::grouping::GroupingConfig;
 use crate::knowledge::DomainKnowledge;
 use crate::priority::score_group;
 use crate::provenance::{build_provenance, CloseReason, EventProvenance, GroupProv, MergeCause};
-use sd_model::{par_chunks, LocationId, RawMessage, SyslogPlus, TemplateId, Timestamp};
+use crate::quarantine::QuarantineRecord;
+use sd_model::{LocationId, RawMessage, SyslogPlus, TemplateId, Timestamp};
 use sd_telemetry::{Counter, SpanHandle, Telemetry};
-use sd_templates::TokenScratch;
 use sd_temporal::EwmaTracker;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -101,6 +101,13 @@ pub struct StreamStats {
     /// open member absent). Always 0 in a healthy run; nonzero values
     /// indicate a bug worth filing, but never abort the process.
     pub n_inconsistent: usize,
+    /// Messages quarantined because their augmentation shard panicked
+    /// even on sequential retry (see [`crate::quarantine`]). They are
+    /// excluded from the digest exactly as if never fed; records drain
+    /// via [`StreamDigester::take_quarantined`]. `serde(default)` keeps
+    /// pre-quarantine snapshots loading.
+    #[serde(default)]
+    pub n_quarantined: usize,
 }
 
 /// Registry-backed counters of one digester. Detached atomics when the
@@ -112,6 +119,7 @@ struct StreamCounters {
     n_dropped: Counter,
     n_force_closed: Counter,
     n_inconsistent: Counter,
+    n_quarantined: Counter,
     groups_opened: Counter,
     groups_closed: Counter,
     n_events: Counter,
@@ -127,6 +135,7 @@ impl StreamCounters {
             n_dropped: tel.counter("stream.n_dropped"),
             n_force_closed: tel.counter("stream.n_force_closed"),
             n_inconsistent: tel.counter("stream.n_inconsistent"),
+            n_quarantined: tel.counter("stream.n_quarantined"),
             groups_opened: tel.counter("stream.groups_opened"),
             groups_closed: tel.counter("stream.groups_closed"),
             n_events: tel.counter("stream.n_events"),
@@ -175,6 +184,10 @@ pub struct StreamDigester<'k> {
     /// the event id.
     pending_prov: HashMap<u64, EventProvenance>,
     trace_out: Vec<EventProvenance>,
+    /// Quarantined-message records pending drain
+    /// ([`StreamDigester::take_quarantined`]). Not checkpointed —
+    /// records are sidecar output, only the counter survives resume.
+    quarantined: Vec<QuarantineRecord>,
 
     // Cached span handles (cheap no-ops without telemetry).
     sp_push: SpanHandle,
@@ -238,6 +251,7 @@ impl<'k> StreamDigester<'k> {
             trace: false,
             pending_prov: HashMap::new(),
             trace_out: Vec::new(),
+            quarantined: Vec::new(),
             sp_push: tel.span("stream.push"),
             sp_augment: tel.span("stream.augment"),
             sp_sweep: tel.span("stream.sweep"),
@@ -252,7 +266,14 @@ impl<'k> StreamDigester<'k> {
             n_dropped: self.counters.n_dropped.get() as usize,
             n_force_closed: self.counters.n_force_closed.get() as usize,
             n_inconsistent: self.counters.n_inconsistent.get() as usize,
+            n_quarantined: self.counters.n_quarantined.get() as usize,
         }
+    }
+
+    /// Drain the [`QuarantineRecord`]s of messages quarantined since the
+    /// last drain (empty in a healthy run).
+    pub fn take_quarantined(&mut self) -> Vec<QuarantineRecord> {
+        std::mem::take(&mut self.quarantined)
     }
 
     /// Toggle per-event provenance tracing (drain records with
@@ -348,36 +369,63 @@ impl<'k> StreamDigester<'k> {
 
     /// Feed one message (must be non-decreasing in time — route unordered
     /// feeds through [`ReorderBuffer`](crate::reorder::ReorderBuffer)
-    /// first); returns any events that became closable.
+    /// first); returns any events that became closable. A panic inside
+    /// augmentation is caught and the message quarantined instead of
+    /// aborting the run.
     pub fn push(&mut self, m: &RawMessage) -> Vec<NetworkEvent> {
-        let sp = crate::augment::augment(self.k, self.next_seq as usize, m);
-        self.push_augmented(m, sp)
+        let k = self.k;
+        let idx = self.next_seq as usize;
+        match sd_model::catch_panic(|| crate::augment::augment(k, idx, m)) {
+            Ok(sp) => self.push_augmented(m, sp),
+            Err(reason) => {
+                self.quarantine_message(m, &reason);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Record `m` as quarantined: counted as input, excluded from the
+    /// digest exactly as if it had never been fed (no sequence number,
+    /// no clock advance, no sweep tick), so the surviving output is
+    /// byte-identical to a feed without the poison message.
+    fn quarantine_message(&mut self, m: &RawMessage, reason: &str) {
+        self.counters.n_input.inc();
+        self.counters.n_quarantined.inc();
+        self.quarantined.push(QuarantineRecord::from_message(
+            self.counters.n_input.get(),
+            m,
+            "augment",
+            reason,
+        ));
     }
 
     /// Feed a slice of messages, augmenting them on `cfg.par` threads
     /// before the (inherently sequential) incremental grouping stages.
     /// Emits exactly what the equivalent sequence of [`push`] calls would:
     /// augmentation is per-message pure, so only the stages that carry
-    /// state stay on the calling thread.
+    /// state stay on the calling thread. Each augmentation shard runs
+    /// under `catch_unwind`: a poisoned shard is retried sequentially and
+    /// only the offending messages are quarantined
+    /// ([`take_quarantined`](Self::take_quarantined)).
     ///
     /// [`push`]: StreamDigester::push
     pub fn push_batch(&mut self, msgs: &[RawMessage]) -> Vec<NetworkEvent> {
         let _g = self.sp_push.start();
         let k = self.k;
-        // Placeholder idx 0 here; the real sequence number is assigned in
-        // `push_augmented` (exactly as `push` would have).
-        let augmented = {
+        // The batch offset passed as idx is a placeholder; the real
+        // sequence number is assigned in `push_augmented` (exactly as
+        // `push` would have).
+        let iso = {
             let _g = self.sp_augment.start();
-            par_chunks(self.cfg.par, msgs, |_, chunk| {
-                let mut scratch = TokenScratch::new();
-                chunk
-                    .iter()
-                    .map(|m| augment_with(k, 0, m, &mut scratch))
-                    .collect::<Vec<Option<SyslogPlus>>>()
-            })
+            augment_batch_isolated(k, msgs, self.cfg.par)
         };
+        let poisoned: HashMap<usize, String> = iso.quarantined.into_iter().collect();
         let mut events = Vec::new();
-        for (m, sp) in msgs.iter().zip(augmented.into_iter().flatten()) {
+        for (i, (m, sp)) in msgs.iter().zip(iso.augmented).enumerate() {
+            if let Some(reason) = poisoned.get(&i) {
+                self.quarantine_message(m, reason);
+                continue;
+            }
             events.extend(self.push_augmented(m, sp));
         }
         events
@@ -737,6 +785,7 @@ impl<'k> StreamDigester<'k> {
         counters.n_dropped.set(st.stats.n_dropped as u64);
         counters.n_force_closed.set(st.stats.n_force_closed as u64);
         counters.n_inconsistent.set(st.stats.n_inconsistent as u64);
+        counters.n_quarantined.set(st.stats.n_quarantined as u64);
         counters.n_events.set(st.next_event_id);
         StreamDigester {
             k,
@@ -765,6 +814,7 @@ impl<'k> StreamDigester<'k> {
             trace: false,
             pending_prov: HashMap::new(),
             trace_out: Vec::new(),
+            quarantined: Vec::new(),
             sp_push: tel.span("stream.push"),
             sp_augment: tel.span("stream.augment"),
             sp_sweep: tel.span("stream.sweep"),

@@ -13,9 +13,30 @@
 //! teardown reasons of Table 4 are *literals*: the paper treats each of
 //! those as a distinct sub-type.
 
-use sd_model::{ErrorCode, Vendor};
+use sd_model::{ErrorCode, RawMessage, Timestamp, Vendor};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Marker string that arms the poison hook in the digest core
+/// (`syslogdigest::set_poison_marker`): any message whose detail
+/// contains this substring makes augmentation panic, exercising the
+/// panic-isolation and quarantine paths. Kept deliberately outside the
+/// vocabulary of every grammar template so armed runs over normal
+/// corpora are unaffected.
+pub const POISON_MARKER: &str = "XPOISON-TRIGGERX";
+
+/// A syntactically ordinary message whose detail carries
+/// [`POISON_MARKER`]: it parses, round-trips through
+/// `RawMessage::to_line`, and — when the poison hook is armed — panics
+/// the augmentation stage that touches it.
+pub fn poison_message(ts: Timestamp, router: &str) -> RawMessage {
+    RawMessage::new(
+        ts,
+        router,
+        ErrorCode::from("SYS-2-INJECTED"),
+        format!("diagnostic marker {POISON_MARKER} present"),
+    )
+}
 
 /// The type of a variable slot in a template.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -1,0 +1,325 @@
+//! Deterministic *storage* fault injection — [`faults`](crate::faults)
+//! for the disk instead of the feed.
+//!
+//! The streaming pipeline persists artifacts (checkpoints, learned
+//! knowledge) that real deployments lose to torn writes, bit rot, and
+//! full disks. This module manufactures exactly those failures,
+//! reproducibly from a seed, so the durability layer's recovery
+//! guarantees can be asserted in CI:
+//!
+//! * [`StorageFault`] — the fault taxonomy: truncation at byte N, a
+//!   single flipped bit, a silent short write, and a disk-full error.
+//! * [`apply_fault`] / [`corrupt_file`] — damage a byte image / a file
+//!   on disk the way the fault would have left it.
+//! * [`FaultyWriter`] / [`FaultyReader`] — `io::Write` / `io::Read`
+//!   wrappers that inject the fault mid-stream, for exercising code
+//!   paths that never materialize the whole artifact in memory.
+//!
+//! Determinism contract (same philosophy as [`crate::faults`]): the
+//! fault derived by [`StorageFault::from_seed`] depends only on
+//! `(kind, seed, len)`, so a CI matrix over seeds explores different
+//! damage offsets without flaking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// One injected storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The file keeps only its first `at` bytes (kill mid-write after a
+    /// partial flush — the classic torn write).
+    Truncate {
+        /// Bytes surviving.
+        at: usize,
+    },
+    /// Bit `bit` of byte `offset` is flipped (media corruption).
+    BitFlip {
+        /// Damaged byte offset.
+        offset: usize,
+        /// Flipped bit (0..8).
+        bit: u8,
+    },
+    /// The writer silently accepts only the first `at` bytes and
+    /// claims success (a lying storage layer).
+    ShortWrite {
+        /// Bytes actually persisted.
+        at: usize,
+    },
+    /// The writer persists `at` bytes and then fails with an
+    /// out-of-space error (surfaced to the caller, unlike
+    /// [`StorageFault::ShortWrite`]).
+    DiskFull {
+        /// Bytes persisted before the error.
+        at: usize,
+    },
+}
+
+/// The storage-fault kinds [`StorageFault::from_seed`] understands, in
+/// canonical spelling (CLI `--storage` values and CI matrix axes).
+pub const STORAGE_FAULT_KINDS: [&str; 4] = ["truncate", "bitflip", "short-write", "disk-full"];
+
+impl StorageFault {
+    /// Derive a fault of `kind` deterministically from `seed` for an
+    /// artifact of `len` bytes. Offsets land uniformly in `0..len`
+    /// (0 when the artifact is empty). Returns `None` for an unknown
+    /// kind; accepted spellings are [`STORAGE_FAULT_KINDS`] (plus the
+    /// `short`/`diskfull` shorthands).
+    pub fn from_seed(kind: &str, seed: u64, len: usize) -> Option<StorageFault> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5d_10_fa_17);
+        let at = if len == 0 { 0 } else { rng.gen_range(0..len) };
+        let bit = rng.gen_range(0..8u32) as u8;
+        match kind {
+            "truncate" => Some(StorageFault::Truncate { at }),
+            "bitflip" => Some(StorageFault::BitFlip { offset: at, bit }),
+            "short" | "short-write" => Some(StorageFault::ShortWrite { at }),
+            "diskfull" | "disk-full" => Some(StorageFault::DiskFull { at }),
+            _ => None,
+        }
+    }
+
+    /// Canonical kind name (matches [`STORAGE_FAULT_KINDS`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StorageFault::Truncate { .. } => "truncate",
+            StorageFault::BitFlip { .. } => "bitflip",
+            StorageFault::ShortWrite { .. } => "short-write",
+            StorageFault::DiskFull { .. } => "disk-full",
+        }
+    }
+}
+
+/// The byte image a disk holds after `fault` interferes with writing
+/// `bytes`: truncation, short write and disk-full all leave a prefix;
+/// a bit flip leaves the full length with one bit damaged.
+pub fn apply_fault(bytes: &[u8], fault: &StorageFault) -> Vec<u8> {
+    match *fault {
+        StorageFault::Truncate { at }
+        | StorageFault::ShortWrite { at }
+        | StorageFault::DiskFull { at } => bytes[..at.min(bytes.len())].to_vec(),
+        StorageFault::BitFlip { offset, bit } => {
+            let mut out = bytes.to_vec();
+            if let Some(b) = out.get_mut(offset) {
+                *b ^= 1 << (bit % 8);
+            }
+            out
+        }
+    }
+}
+
+/// Damage the artifact at `path` in place, as `fault` would have.
+pub fn corrupt_file(path: &Path, fault: &StorageFault) -> io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    std::fs::write(path, apply_fault(&bytes, fault))
+}
+
+/// An `io::Write` that injects `fault` into the byte stream. Torn and
+/// short writes silently discard everything past the fault offset
+/// (claiming success, as a crashed or lying kernel would); disk-full
+/// surfaces an error once the offset is reached; bit flips pass the
+/// stream through with one bit damaged.
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    fault: StorageFault,
+    written: usize,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wrap `inner`, injecting `fault`.
+    pub fn new(inner: W, fault: StorageFault) -> Self {
+        FaultyWriter {
+            inner,
+            fault,
+            written: 0,
+        }
+    }
+
+    /// Bytes offered to the writer so far (pre-fault accounting).
+    pub fn offered(&self) -> usize {
+        self.written
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let start = self.written;
+        match self.fault {
+            StorageFault::Truncate { at } | StorageFault::ShortWrite { at } => {
+                let keep = at.saturating_sub(start).min(buf.len());
+                self.inner.write_all(&buf[..keep])?;
+                // Claim the whole buffer landed: the caller only finds
+                // out at (enveloped) load time.
+                self.written = start + buf.len();
+                Ok(buf.len())
+            }
+            StorageFault::DiskFull { at } => {
+                let keep = at.saturating_sub(start).min(buf.len());
+                self.inner.write_all(&buf[..keep])?;
+                self.written = start + keep;
+                if keep < buf.len() {
+                    Err(io::Error::other("injected fault: no space left on device"))
+                } else {
+                    Ok(buf.len())
+                }
+            }
+            StorageFault::BitFlip { offset, bit } => {
+                if offset >= start && offset < start + buf.len() {
+                    let mut damaged = buf.to_vec();
+                    damaged[offset - start] ^= 1 << (bit % 8);
+                    self.inner.write_all(&damaged)?;
+                } else {
+                    self.inner.write_all(buf)?;
+                }
+                self.written = start + buf.len();
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// An `io::Read` that injects `fault` into the byte stream: prefix
+/// faults turn into an early EOF at the fault offset, bit flips damage
+/// the byte as it streams past.
+pub struct FaultyReader<R: Read> {
+    inner: R,
+    fault: StorageFault,
+    pos: usize,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wrap `inner`, injecting `fault`.
+    pub fn new(inner: R, fault: StorageFault) -> Self {
+        FaultyReader {
+            inner,
+            fault,
+            pos: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.fault {
+            StorageFault::Truncate { at }
+            | StorageFault::ShortWrite { at }
+            | StorageFault::DiskFull { at } => {
+                let remaining = at.saturating_sub(self.pos);
+                if remaining == 0 {
+                    return Ok(0);
+                }
+                let cap = remaining.min(buf.len());
+                let n = self.inner.read(&mut buf[..cap])?;
+                self.pos += n;
+                Ok(n)
+            }
+            StorageFault::BitFlip { offset, bit } => {
+                let n = self.inner.read(buf)?;
+                if offset >= self.pos && offset < self.pos + n {
+                    buf[offset - self.pos] ^= 1 << (bit % 8);
+                }
+                self.pos += n;
+                Ok(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic_and_in_range() {
+        for kind in STORAGE_FAULT_KINDS {
+            let a = StorageFault::from_seed(kind, 7, 1000).expect("known kind");
+            let b = StorageFault::from_seed(kind, 7, 1000).expect("known kind");
+            assert_eq!(a, b);
+            assert_eq!(a.kind(), kind);
+            match a {
+                StorageFault::Truncate { at }
+                | StorageFault::ShortWrite { at }
+                | StorageFault::DiskFull { at } => assert!(at < 1000),
+                StorageFault::BitFlip { offset, bit } => {
+                    assert!(offset < 1000);
+                    assert!(bit < 8);
+                }
+            }
+        }
+        assert!(StorageFault::from_seed("melt", 7, 10).is_none());
+        // Different seeds explore different offsets.
+        let offsets: std::collections::HashSet<usize> = (0..32)
+            .map(
+                |s| match StorageFault::from_seed("truncate", s, 1_000_000) {
+                    Some(StorageFault::Truncate { at }) => at,
+                    _ => unreachable!(),
+                },
+            )
+            .collect();
+        assert!(offsets.len() > 16);
+    }
+
+    #[test]
+    fn apply_fault_matches_writer_image() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(3000).collect();
+        for kind in STORAGE_FAULT_KINDS {
+            for seed in [1u64, 2, 3] {
+                let fault = StorageFault::from_seed(kind, seed, payload.len()).expect("kind");
+                let expected = apply_fault(&payload, &fault);
+
+                let mut sink = Vec::new();
+                let mut w = FaultyWriter::new(&mut sink, fault);
+                // Write in awkward chunk sizes to cross the fault offset.
+                let mut res = Ok(());
+                for chunk in payload.chunks(97) {
+                    if let Err(e) = w.write_all(chunk) {
+                        res = Err(e);
+                        break;
+                    }
+                }
+                w.flush().expect("flush");
+                drop(w);
+                match fault {
+                    StorageFault::DiskFull { .. } => {
+                        assert!(res.is_err(), "disk-full must surface an error")
+                    }
+                    _ => assert!(res.is_ok(), "{kind} should be silent"),
+                }
+                assert_eq!(sink, expected, "kind {kind} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_reader_truncates_and_flips() {
+        let payload: Vec<u8> = (0..200u8).collect();
+        let mut out = Vec::new();
+        FaultyReader::new(&payload[..], StorageFault::Truncate { at: 50 })
+            .read_to_end(&mut out)
+            .expect("read");
+        assert_eq!(out, &payload[..50]);
+
+        let mut out = Vec::new();
+        FaultyReader::new(&payload[..], StorageFault::BitFlip { offset: 10, bit: 0 })
+            .read_to_end(&mut out)
+            .expect("read");
+        assert_eq!(out.len(), payload.len());
+        assert_eq!(out[10], payload[10] ^ 1);
+        assert_eq!(out[11], payload[11]);
+    }
+
+    #[test]
+    fn corrupt_file_damages_in_place() {
+        let dir = std::env::temp_dir().join("sd_iofaults_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("artifact.bin");
+        std::fs::write(&path, [7u8; 100]).expect("write");
+        corrupt_file(&path, &StorageFault::Truncate { at: 25 }).expect("corrupt");
+        assert_eq!(std::fs::read(&path).expect("read").len(), 25);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -29,6 +29,7 @@ pub mod dataset;
 pub mod events;
 pub mod faults;
 pub mod grammar;
+pub mod iofaults;
 pub mod ip;
 pub mod scenario;
 pub mod topology;
@@ -38,6 +39,9 @@ pub use corpus::{Corpus, GOLDEN_SCALE, GOLDEN_SEEDS};
 pub use dataset::{Dataset, DatasetSpec};
 pub use events::{EventKind, EventSim, GtEvent};
 pub use faults::{inject, FaultReport, FaultSpec};
-pub use grammar::{Grammar, GrammarTemplate, VarKind};
+pub use grammar::{poison_message, Grammar, GrammarTemplate, VarKind, POISON_MARKER};
+pub use iofaults::{
+    apply_fault, corrupt_file, FaultyReader, FaultyWriter, StorageFault, STORAGE_FAULT_KINDS,
+};
 pub use topology::{TopoSpec, Topology};
 pub use workload::{Workload, WorkloadSpec};

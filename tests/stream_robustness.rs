@@ -12,14 +12,16 @@
 
 use proptest::prelude::*;
 use std::sync::OnceLock;
-use syslogdigest_repro::digest::checkpoint::StreamSnapshot;
+use syslogdigest_repro::digest::checkpoint::{CheckpointError, StreamSnapshot};
 use syslogdigest_repro::digest::grouping::GroupingConfig;
 use syslogdigest_repro::digest::ingest::FaultTolerantIngest;
 use syslogdigest_repro::digest::knowledge::DomainKnowledge;
 use syslogdigest_repro::digest::offline::{learn, OfflineConfig};
 use syslogdigest_repro::digest::stream::StreamConfig;
-use syslogdigest_repro::digest::NetworkEvent;
-use syslogdigest_repro::netsim::{inject, Dataset, DatasetSpec, FaultSpec};
+use syslogdigest_repro::digest::{generation_path, set_poison_marker, NetworkEvent};
+use syslogdigest_repro::netsim::{
+    inject, poison_message, Dataset, DatasetSpec, FaultSpec, POISON_MARKER,
+};
 
 fn setup() -> &'static (Dataset, DomainKnowledge) {
     static CELL: OnceLock<(Dataset, DomainKnowledge)> = OnceLock::new();
@@ -164,6 +166,149 @@ fn kill_and_resume_from_snapshot_file_equals_uninterrupted_run() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Write a valid mid-stream checkpoint to disk and return its bytes,
+/// the lines consumed, and the feed it came from.
+fn saved_snapshot(dir: &std::path::Path) -> (std::path::PathBuf, Vec<u8>, usize) {
+    let (d, k) = setup();
+    let lines: Vec<String> = d.online().iter().map(|m| m.to_line()).collect();
+    let cut = 200.min(lines.len() / 2);
+    let mut ing =
+        FaultTolerantIngest::new(k, GroupingConfig::default(), StreamConfig::default(), 30);
+    for line in &lines[..cut] {
+        ing.push_line(line);
+    }
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("snap.ckpt");
+    ing.checkpoint().save(&path).expect("snapshot saves");
+    let bytes = std::fs::read(&path).unwrap();
+    (path, bytes, cut)
+}
+
+/// DURABILITY: a checkpoint truncated at *every* byte offset is rejected
+/// with a typed error — never a panic, never a silently wrong resume —
+/// and an intact older generation always recovers.
+#[test]
+fn every_truncation_offset_is_rejected_and_older_generation_recovers() {
+    let dir = std::env::temp_dir().join(format!("sd-truncate-{}", std::process::id()));
+    let (path, bytes, cut) = saved_snapshot(&dir);
+    // The pristine snapshot also lives one generation back.
+    std::fs::copy(&path, generation_path(&path, 1)).unwrap();
+
+    for at in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..at]).unwrap();
+        match StreamSnapshot::load(&path) {
+            Err(CheckpointError::Artifact(_) | CheckpointError::Corrupt(_)) => {}
+            Err(other) => panic!("truncation at {at}: unexpected error kind {other}"),
+            Ok(_) => panic!("truncation at {at} loaded successfully"),
+        }
+        // Recovery re-parses the full older generation, so exercise it on
+        // a stride plus the interesting boundaries rather than at all
+        // ~10^4-10^5 offsets (the load above is the exhaustive part).
+        if at % 509 == 0 || at < 32 || at + 32 > bytes.len() {
+            let (snap, report) = StreamSnapshot::recover_last_good(&path, 1)
+                .expect("older generation must recover")
+                .expect("generation 1 exists");
+            assert_eq!(report.generation, 1, "truncation at {at}");
+            assert_eq!(report.n_corrupt, 1, "truncation at {at}");
+            assert_eq!(snap.lines_consumed(), cut, "truncation at {at}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// DURABILITY: a mid-feed crash loses at most one checkpoint interval —
+/// corrupting the generation being written falls back to the previous
+/// one, and the recovered replay equals the uninterrupted run exactly.
+#[test]
+fn generation_fallback_resumes_within_one_interval() {
+    let (d, k) = setup();
+    let (faulted, _) = inject(d.online(), &FaultSpec::bounded(7));
+    let every = faulted.len() / 6;
+    let cut = (faulted.len() * 2 / 3) / every * every; // crash at a save boundary
+    assert!(cut >= 2 * every, "feed too short for two generations");
+
+    let (uninterrupted, _) = ingest_lines(k, faulted.iter().map(String::as_str), 30);
+
+    let dir = std::env::temp_dir().join(format!("sd-fallback-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+    let mut first =
+        FaultTolerantIngest::new(k, GroupingConfig::default(), StreamConfig::default(), 30);
+    let mut prefix_events = Vec::new();
+    let mut events_at_save = Vec::new(); // events emitted by each save point
+    for (i, line) in faulted[..cut].iter().enumerate() {
+        prefix_events.extend(first.push_line(line));
+        if (i + 1) % every == 0 {
+            first
+                .checkpoint()
+                .save_rotated(&path, 2)
+                .expect("rotated save");
+            events_at_save.push((i + 1, prefix_events.len()));
+        }
+    }
+    drop(first); // the kill, mid-write of generation 0:
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (mut second, report) = FaultTolerantIngest::recover(k, &path, 2)
+        .expect("recovery succeeds")
+        .expect("a generation exists");
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.n_corrupt, 1);
+    let consumed = report.lines_consumed;
+    assert!(
+        cut - consumed <= every,
+        "lost {} lines, more than one interval ({every})",
+        cut - consumed
+    );
+    let &(_, n_events) = events_at_save
+        .iter()
+        .find(|&&(n, _)| n == consumed)
+        .expect("recovered to a save point");
+
+    let mut events: Vec<NetworkEvent> = prefix_events[..n_events].to_vec();
+    for line in &faulted[consumed..] {
+        events.extend(second.push_line(line));
+    }
+    let (rest, _) = second.finish();
+    events.extend(rest);
+
+    assert_eq!(
+        digest_fingerprint(&uninterrupted),
+        digest_fingerprint(&events),
+        "recovered replay diverged from uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// QUARANTINE: a poison message whose augmentation panics is quarantined —
+/// counted once, recorded once — and the digest is byte-identical to a
+/// feed that never contained the message.
+#[test]
+fn quarantined_poison_message_leaves_digest_byte_identical() {
+    let (d, k) = setup();
+    let n = d.online().len().min(4000);
+    let msgs = &d.online()[..n];
+    let clean: Vec<String> = msgs.iter().map(|m| m.to_line()).collect();
+    let mid = n / 2;
+    let poison = poison_message(msgs[mid].ts, &msgs[mid].router);
+    let mut poisoned = clean.clone();
+    poisoned.insert(mid, poison.to_line());
+
+    set_poison_marker(Some(POISON_MARKER));
+    let (clean_events, clean_stats) = ingest_lines(k, clean.iter().map(String::as_str), 0);
+    let (pois_events, pois_stats) = ingest_lines(k, poisoned.iter().map(String::as_str), 0);
+    set_poison_marker(None);
+
+    assert_eq!(clean_stats.digester.n_quarantined, 0);
+    assert_eq!(pois_stats.digester.n_quarantined, 1);
+    assert_eq!(
+        digest_fingerprint(&clean_events),
+        digest_fingerprint(&pois_events),
+        "digest with a quarantined message diverged from the poison-free feed"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -217,5 +362,42 @@ proptest! {
         let (_events, stats) = ingest_lines(k, lines.iter().map(String::as_str), 10);
         prop_assert_eq!(stats.digester.n_inconsistent, 0);
         prop_assert_eq!(stats.n_lines, lines.len());
+    }
+
+    /// Any truncation point combined with any single flipped bit leaves a
+    /// checkpoint that loads as a typed error (never a panic, never a
+    /// wrong resume), while an intact older generation still recovers.
+    #[test]
+    fn truncated_and_bitflipped_checkpoints_fail_typed_and_recover(
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "sd-prop-damage-{}-{}",
+            std::process::id(),
+            (cut_frac * 1e6) as u64 ^ ((flip_frac * 1e6) as u64) << 20 ^ u64::from(bit),
+        ));
+        let (path, bytes, cut) = saved_snapshot(&dir);
+        std::fs::copy(&path, generation_path(&path, 1)).unwrap();
+
+        let keep = (cut_frac * bytes.len() as f64) as usize; // < len: always damages
+        let mut damaged = bytes[..keep].to_vec();
+        if !damaged.is_empty() {
+            let off = ((flip_frac * damaged.len() as f64) as usize).min(damaged.len() - 1);
+            damaged[off] ^= 1 << bit;
+        }
+        std::fs::write(&path, &damaged).unwrap();
+
+        prop_assert!(
+            StreamSnapshot::load(&path).is_err(),
+            "damaged snapshot (cut {keep}, flip bit {bit}) loaded successfully"
+        );
+        let (snap, report) = StreamSnapshot::recover_last_good(&path, 1)
+            .expect("older generation must recover")
+            .expect("generation 1 exists");
+        prop_assert_eq!(report.generation, 1);
+        prop_assert_eq!(snap.lines_consumed(), cut);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
